@@ -1,0 +1,66 @@
+// Command iacbench regenerates every table and figure of the paper's
+// evaluation (Section 10) plus the analytic results of Section 5, and
+// prints each next to the paper's claim. See DESIGN.md for the
+// experiment index.
+//
+// Usage:
+//
+//	iacbench                 # run everything at paper-sized settings
+//	iacbench -exp fig12      # one experiment
+//	iacbench -trials 10 -slots 200 -runs 1   # quicker, coarser
+//	iacbench -cdf            # also render ASCII CDFs for fig15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iaclan"
+	"iaclan/internal/stats"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "experiment id (see DESIGN.md) or 'all'")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 40, "scenario draws for scatter experiments")
+		slots   = flag.Int("slots", 1000, "slots for the large-network MAC runs")
+		runs    = flag.Int("runs", 3, "repetitions of the MAC experiment")
+		cdf     = flag.Bool("cdf", false, "render ASCII CDFs for series results")
+	)
+	flag.Parse()
+
+	cfg := iaclan.DefaultExperimentConfig()
+	cfg.Seed = *seed
+	cfg.Trials = *trials
+	cfg.Slots = *slots
+	cfg.Runs = *runs
+
+	ids := iaclan.Experiments()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	failed := 0
+	for _, id := range ids {
+		r, err := iaclan.RunExperiment(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(r)
+		if *cdf {
+			for name, series := range r.Series {
+				if len(series) >= 5 {
+					fmt.Print(stats.ASCIICDF(series, 56, 10, "   CDF "+name))
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

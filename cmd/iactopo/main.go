@@ -1,0 +1,65 @@
+// Command iactopo prints the simulated testbed topology (the analogue of
+// the paper's Fig. 11): node positions on an ASCII grid and the pairwise
+// mean-SNR matrix.
+//
+// Usage:
+//
+//	iactopo -seed 1 -nodes 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"iaclan/internal/channel"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "random seed")
+		nodes = flag.Int("nodes", 20, "node count")
+		room  = flag.Float64("room", 12, "room edge length in meters")
+	)
+	flag.Parse()
+
+	w := channel.NewTestbed(channel.DefaultParams(), *seed, *nodes, *room)
+
+	// ASCII map: 40x20 grid over the room.
+	const gw, gh = 40, 20
+	grid := make([][]byte, gh)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", gw))
+	}
+	for _, n := range w.Nodes() {
+		gx := int(n.X / *room * (gw - 1))
+		gy := int(n.Y / *room * (gh - 1))
+		label := byte('a' + n.ID%26)
+		if n.ID < 10 {
+			label = byte('0' + n.ID)
+		}
+		grid[gy][gx] = label
+	}
+	fmt.Printf("testbed: %d nodes in a %.0fx%.0f m room (seed %d)\n\n", *nodes, *room, *room, *seed)
+	for _, row := range grid {
+		fmt.Printf("  %s\n", row)
+	}
+
+	fmt.Printf("\npairwise mean SNR [dB] (row=tx, col=rx):\n     ")
+	for j := range w.Nodes() {
+		fmt.Printf("%5d", j)
+	}
+	fmt.Println()
+	for i, a := range w.Nodes() {
+		fmt.Printf("%5d", i)
+		for j, b := range w.Nodes() {
+			if i == j {
+				fmt.Printf("%5s", "-")
+				continue
+			}
+			fmt.Printf("%5.0f", w.PathGainDB(a, b))
+			_ = j
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,74 @@
+// downlinklan demonstrates the paper's three-packet downlink (Fig. 6,
+// Eqs. 5-7): three APs each deliver one packet to one of three clients
+// simultaneously. Clients cannot share decoded packets over a wire, so
+// every client must see its two undesired packets aligned on a single
+// spatial direction — the encoding vectors solve the triangle of
+// alignment constraints.
+//
+// Run: go run ./examples/downlinklan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"iaclan"
+	"iaclan/internal/channel"
+	"iaclan/internal/core"
+	"iaclan/internal/testbed"
+)
+
+func main() {
+	// High-level API first: one downlink slot on the testbed.
+	net := iaclan.NewTestbedNetwork(5)
+	nodes := net.Nodes()
+	clients, aps := nodes[:3], nodes[3:6]
+	slot, err := net.Downlink(clients, aps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IAC downlink slot: %d concurrent packets, %.2f b/s/Hz\n", slot.Packets, slot.SumRate)
+	base, err := net.Baseline(clients, aps, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("802.11-MIMO TDMA:  %.2f b/s/Hz  ->  gain %.2fx (paper: ~1.4x)\n\n",
+		base.SumRate, slot.SumRate/base.SumRate)
+
+	// Now the internals: solve Eqs. 5-7 directly and verify the geometry.
+	world := channel.DefaultTestbed(9)
+	s := testbed.PickScenario(world, 3, 3)
+	cs := s.DownlinkChannels()
+	plan, err := core.SolveDownlinkTriangle(cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alignment geometry at each client (angles in radians):")
+	for client := 0; client < 3; client++ {
+		var undesired []int
+		for pkt := 0; pkt < 3; pkt++ {
+			if pkt != client {
+				undesired = append(undesired, pkt)
+			}
+		}
+		u0 := cs[undesired[0]][client].MulVec(plan.Encoding[undesired[0]])
+		u1 := cs[undesired[1]][client].MulVec(plan.Encoding[undesired[1]])
+		des := cs[client][client].MulVec(plan.Encoding[client])
+		fmt.Printf("  client %d: angle(p%d,p%d)=%.5f (aligned), angle(desired,interference)=%.3f\n",
+			client, undesired[0], undesired[1], u0.AngleTo(u1), des.AngleTo(u0))
+	}
+
+	ev, err := plan.Evaluate(cs, testbed.Estimate(cs, rand.New(rand.NewSource(2))),
+		testbed.NodePower, testbed.NoisePower)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-client outcome with estimated channels:")
+	for pkt, r := range ev.PacketRate {
+		fmt.Printf("  packet %d -> client %d: SINR %.1f, rate %.2f b/s/Hz\n",
+			pkt, pkt, ev.SINR[pkt], r)
+	}
+	fmt.Println("\nno wire between clients was needed: alignment alone freed a")
+	fmt.Println("dimension at every client (paper Section 4d).")
+}

@@ -1,0 +1,56 @@
+// Quickstart: three concurrent packets through two 2-antenna APs.
+//
+// Current MIMO LANs cap concurrent packets at the AP's antenna count
+// (two here). This example reproduces the paper's headline scenario
+// (Fig. 2 / Fig. 4b): two 2-antenna clients upload THREE packets at
+// once. Interference alignment lets AP1 decode one packet; the wired
+// backend and interference cancellation let AP2 decode the other two.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iaclan"
+)
+
+func main() {
+	// A deterministic simulated MIMO LAN: one room, Rayleigh fading,
+	// 2-antenna nodes (the paper's USRP testbed, in software).
+	net := iaclan.NewNetwork(iaclan.NetworkConfig{Seed: 42})
+	client0 := net.AddNode(1, 1)
+	client1 := net.AddNode(1, 9)
+	ap0 := net.AddNode(8, 3)
+	ap1 := net.AddNode(8, 7)
+
+	clients := []iaclan.Node{client0, client1}
+	aps := []iaclan.Node{ap0, ap1}
+
+	// One IAC uplink slot: client0 uploads two packets, client1 one.
+	iac, err := net.Uplink(clients, aps, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IAC slot:        %d concurrent packets, %.2f b/s/Hz total\n",
+		iac.Packets, iac.SumRate)
+	for c, r := range iac.PerClient {
+		fmt.Printf("  client %d contributed %.2f b/s/Hz\n", c, r)
+	}
+
+	// The same nodes under point-to-point 802.11-MIMO (eigenmode
+	// precoding, best-AP selection, TDMA between the clients).
+	base, err := net.Baseline(clients, aps, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("802.11-MIMO:     %d packets max per slot, %.2f b/s/Hz total\n",
+		base.Packets, base.SumRate)
+
+	gain, err := net.Gain(clients, aps, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gain:            %.2fx (paper reports ~1.5x on this scenario)\n", gain)
+}

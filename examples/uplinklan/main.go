@@ -1,0 +1,149 @@
+// uplinklan walks the complete SIGNAL-LEVEL uplink pipeline of the paper
+// (Fig. 4b) — actual bits through actual baseband samples:
+//
+//  1. Training: each client sends an isolated training burst; the APs
+//     least-squares estimate the channel matrices and CFOs (Section 8a).
+//  2. Alignment: the leader solves Eq. 2 on the estimates so packets 1
+//     and 2 align at AP0.
+//  3. Three packets fly concurrently from two unsynchronized clients
+//     with distinct oscillator offsets through Rayleigh channels + noise.
+//  4. AP0 projects orthogonal to the aligned interference and decodes
+//     packet 0; the decoded bits cross the Ethernet hub.
+//  5. AP1 reconstructs packet 0's waveform, subtracts it, and
+//     zero-forces packets 1 and 2.
+//
+// Run: go run ./examples/uplinklan
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"iaclan/internal/backend"
+	"iaclan/internal/channel"
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/core"
+	"iaclan/internal/phy"
+	"iaclan/internal/radio"
+)
+
+const sampleRate = 1e6
+
+func main() {
+	// --- The world: two clients, two APs, USRP-like oscillators.
+	params := channel.DefaultParams()
+	params.CFOStdHz = 300
+	world := channel.NewWorld(params, 7)
+	c0 := world.AddNode(1, 1)
+	c1 := world.AddNode(1, 9)
+	ap0 := world.AddNode(8, 3)
+	ap1 := world.AddNode(8, 7)
+	medium := radio.NewMedium(world, sampleRate, 0.003, 11)
+	hub := backend.NewMemHub(2) // the APs' Ethernet
+
+	// --- Step 1: training.
+	fmt.Println("step 1: channel + CFO estimation from training bursts")
+	ests := phy.EstimateAllLinks(medium, []*channel.Node{c0, c1}, []*channel.Node{ap0, ap1}, 8)
+	for i := range ests {
+		for j := range ests[i] {
+			fmt.Printf("  client%d->ap%d: CFO %+6.0f Hz\n", i, j, ests[i][j].CFO)
+		}
+	}
+
+	// --- Step 2: alignment on the estimates.
+	estCS := core.ChannelSet(phy.ChannelSetFromEstimates(ests))
+	rng := rand.New(rand.NewSource(3))
+	plan, err := core.SolveUplinkThree(estCS, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 2: encoding vectors solved; alignment residual %.2e\n",
+		plan.AlignmentResidual(estCS))
+
+	// --- Step 3: three concurrent packets (client1 keys up 5 samples late).
+	payloads := [][]byte{
+		[]byte("packet-0: decoded at AP0 behind aligned interference......"),
+		[]byte("packet-1: decoded at AP1 after cancelling packet-0........"),
+		[]byte("packet-2: decoded at AP1 alongside packet-1..............."),
+	}
+	amp := 1 / math.Sqrt2 // client 0 splits power over two packets
+	x0a := phy.PrecodeFrame(payloads[0], plan.Encoding[0], amp)
+	x0b := phy.PrecodeFrame(payloads[1], plan.Encoding[1], amp)
+	x0 := make([][]complex128, 2)
+	for a := range x0 {
+		x0[a] = make([]complex128, len(x0a[a]))
+		for t := range x0[a] {
+			x0[a][t] = x0a[a][t] + x0b[a][t]
+		}
+	}
+	bursts := []radio.Burst{
+		{From: c0, Start: 10, Samples: x0},
+		{From: c1, Start: 15, Samples: phy.PrecodeFrame(payloads[2], plan.Encoding[2], 1)},
+	}
+	dur := len(x0[0]) + 60
+	y0 := medium.Receive(ap0, dur, bursts)
+	y1 := medium.Receive(ap1, dur, bursts)
+	fmt.Printf("step 3: 3 packets on the air simultaneously (%d samples)\n", dur)
+
+	// --- Step 4: AP0 decodes packet 0.
+	d1 := ests[0][0].H.MulVec(plan.Encoding[1])
+	d2 := ests[1][0].H.MulVec(plan.Encoding[2])
+	fmt.Printf("step 4: interference alignment at AP0: angle(p1,p2) = %.4f rad\n",
+		d1.AngleTo(d2))
+	w0 := cmplxmat.OrthogonalComplementVector(2, 1e-9, d1, d2)
+	g0 := w0.Dot(ests[0][0].H.MulVec(plan.Encoding[0])) * complex(amp, 0)
+	res0, err := phy.DecodeProjected(phy.Project(y0, w0), g0, len(payloads[0]), sampleRate, 0.5)
+	if err != nil {
+		log.Fatal("AP0 decode failed: ", err)
+	}
+	fmt.Printf("  AP0 decoded packet 0 (SNR %.1f dB): %q\n",
+		10*math.Log10(res0.SNR), res0.Payload)
+	// AP0 annotates the decoded packet with where it detected the frame:
+	// the APs share a slot clock, so AP1 only needs to search a couple of
+	// samples of residual jitter around that offset.
+	if err := hub.Publish(0, backend.Message{
+		Type: backend.MsgDecodedPacket, From: 0, Seq: uint32(res0.Offset), Payload: res0.Payload,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Step 5: AP1 cancels packet 0 and zero-forces the rest.
+	shared := hub.Drain(1)
+	fmt.Printf("step 5: AP1 received %d packet(s) over the Ethernet (%d bytes on wire)\n",
+		len(shared), hub.BytesOnWire())
+	y1res, foundStart := phy.CancelWithJitterSearch(y1, shared[0].Payload,
+		plan.Encoding[0], amp, ests[0][1].H, ests[0][1].CFO, sampleRate, int(shared[0].Seq), 2)
+	fmt.Printf("  cancellation located packet 0 at sample %d\n", foundStart)
+
+	e1 := ests[0][1].H.MulVec(plan.Encoding[1])
+	e2 := ests[1][1].H.MulVec(plan.Encoding[2])
+	for i, tc := range []struct {
+		name    string
+		null    cmplxmat.Vector
+		sig     cmplxmat.Vector
+		amp     float64
+		payload []byte
+	}{
+		{"packet 1", e2, e1, amp, payloads[1]},
+		{"packet 2", e1, e2, 1, payloads[2]},
+	} {
+		w := cmplxmat.OrthogonalComplementVector(2, 1e-9, tc.null)
+		g := w.Dot(tc.sig) * complex(tc.amp, 0)
+		res, err := phy.DecodeProjected(phy.Project(y1res, w), g, len(tc.payload), sampleRate, 0.4)
+		if err != nil {
+			log.Fatalf("AP1 decode %s failed: %v", tc.name, err)
+		}
+		status := "OK"
+		if !bytes.Equal(res.Payload, tc.payload) {
+			status = "CORRUPTED"
+		}
+		fmt.Printf("  AP1 decoded %s (SNR %.1f dB, %s): %q\n",
+			tc.name, 10*math.Log10(res.SNR), status, res.Payload)
+		_ = i
+	}
+	fmt.Println("\nthree packets delivered through two 2-antenna APs: the")
+	fmt.Println("antennas-per-AP limit is broken (paper Fig. 2).")
+}

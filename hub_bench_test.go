@@ -1,0 +1,63 @@
+package iaclan
+
+import (
+	"time"
+
+	"iaclan/internal/backend"
+)
+
+// benchHubIface adapts the two backend transports to one shape for the
+// hub benchmarks in bench_test.go.
+type benchHubIface struct {
+	pub   func(payload []byte, seq uint32) error
+	drain func(min int)
+	close func()
+}
+
+func (h *benchHubIface) PublishPacket(payload []byte, seq uint32) error {
+	return h.pub(payload, seq)
+}
+
+func (h *benchHubIface) DrainAll(min int) { h.drain(min) }
+
+func (h *benchHubIface) Close() {
+	if h.close != nil {
+		h.close()
+	}
+}
+
+func newMemHubForBench() *benchHubIface {
+	h := backend.NewMemHub(3)
+	return &benchHubIface{
+		pub: func(payload []byte, seq uint32) error {
+			return h.Publish(0, backend.Message{Type: backend.MsgDecodedPacket, Seq: seq, Payload: payload})
+		},
+		drain: func(min int) {
+			h.Drain(1)
+			h.Drain(2)
+		},
+	}
+}
+
+func newTCPHubForBench() (*benchHubIface, error) {
+	h, err := backend.NewTCPHub(3)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < 3; p++ {
+		if err := h.ConnectPort(p); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	return &benchHubIface{
+		pub: func(payload []byte, seq uint32) error {
+			return h.Publish(0, backend.Message{Type: backend.MsgDecodedPacket, Seq: seq, Payload: payload})
+		},
+		drain: func(min int) {
+			h.DrainWait(1, min, 5*time.Second)
+			h.DrainWait(2, min, 5*time.Second)
+		},
+		close: func() { h.Close() },
+	}, nil
+}

@@ -1,0 +1,184 @@
+package iaclan
+
+import (
+	"testing"
+)
+
+func TestNewNetworkAndNodes(t *testing.T) {
+	n := NewNetwork(NetworkConfig{Seed: 1})
+	a := n.AddNode(0, 0)
+	b := n.AddNode(3, 4)
+	if a.ID() != 0 || b.ID() != 1 {
+		t.Fatalf("ids %d %d", a.ID(), b.ID())
+	}
+	x, y := b.Position()
+	if x != 3 || y != 4 {
+		t.Fatalf("position %v %v", x, y)
+	}
+	if len(n.Nodes()) != 2 {
+		t.Fatalf("nodes %d", len(n.Nodes()))
+	}
+}
+
+func TestTestbedNetwork(t *testing.T) {
+	n := NewTestbedNetwork(1)
+	if len(n.Nodes()) != 20 {
+		t.Fatalf("testbed nodes %d", len(n.Nodes()))
+	}
+}
+
+func TestUplinkThreePackets(t *testing.T) {
+	n := NewTestbedNetwork(2)
+	nodes := n.Nodes()
+	clients := nodes[:2]
+	aps := nodes[2:4]
+	r, err := n.Uplink(clients, aps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Packets != 3 {
+		t.Fatalf("packets %d want 3 (beyond the 2-antenna AP limit)", r.Packets)
+	}
+	if r.SumRate <= 0 || r.Scheme != "iac" {
+		t.Fatalf("rates %+v", r)
+	}
+	if len(r.PerClient) != 2 {
+		t.Fatalf("attribution %+v", r.PerClient)
+	}
+}
+
+func TestUplinkFourPackets(t *testing.T) {
+	n := NewTestbedNetwork(3)
+	nodes := n.Nodes()
+	r, err := n.Uplink(nodes[:3], nodes[3:6], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Packets != 4 {
+		t.Fatalf("packets %d want 4", r.Packets)
+	}
+}
+
+func TestDownlinkTriangle(t *testing.T) {
+	n := NewTestbedNetwork(4)
+	nodes := n.Nodes()
+	r, err := n.Downlink(nodes[:3], nodes[3:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Packets != 3 {
+		t.Fatalf("packets %d want 3", r.Packets)
+	}
+}
+
+func TestDownlinkDiversity(t *testing.T) {
+	n := NewTestbedNetwork(5)
+	nodes := n.Nodes()
+	r, err := n.Downlink(nodes[:1], nodes[1:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Packets != 2 {
+		t.Fatalf("packets %d want 2", r.Packets)
+	}
+}
+
+func TestBaselineAndGain(t *testing.T) {
+	n := NewTestbedNetwork(6)
+	nodes := n.Nodes()
+	clients, aps := nodes[:2], nodes[2:4]
+	base, err := n.Baseline(clients, aps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SumRate <= 0 || base.Scheme != "802.11-mimo" {
+		t.Fatalf("baseline %+v", base)
+	}
+	g, err := n.Gain(clients, aps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0.5 || g > 3 {
+		t.Fatalf("gain %v implausible", g)
+	}
+}
+
+func TestGainAveragedOverNetworkExceedsOne(t *testing.T) {
+	n := NewTestbedNetwork(7)
+	nodes := n.Nodes()
+	var sum float64
+	count := 0
+	for trial := 0; trial < 10; trial++ {
+		n.Redraw()
+		g, err := n.Gain(nodes[trial%4:trial%4+2], nodes[10:12], true)
+		if err != nil {
+			continue
+		}
+		sum += g
+		count++
+	}
+	if count < 5 {
+		t.Fatalf("too few successful trials: %d", count)
+	}
+	if avg := sum / float64(count); avg < 1.05 {
+		t.Fatalf("average gain %v: IAC should beat 802.11-MIMO", avg)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	n := NewTestbedNetwork(8)
+	other := NewTestbedNetwork(9)
+	nodes := n.Nodes()
+	if _, err := n.Uplink(nil, nodes[:2], 0); err == nil {
+		t.Fatal("empty clients accepted")
+	}
+	if _, err := n.Uplink(nodes[:2], []Node{other.Nodes()[0], other.Nodes()[1]}, 0); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+	if _, err := n.Uplink([]Node{nodes[0], nodes[0]}, nodes[1:3], 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := n.Uplink(nodes[:2], nodes[2:4], 7); err == nil {
+		t.Fatal("bad role accepted")
+	}
+	// Unsupported shape.
+	if _, err := n.Uplink(nodes[:4], nodes[4:6], 0); err == nil {
+		t.Fatal("unsupported shape accepted")
+	}
+}
+
+func TestExperimentsRegistryAndRun(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 14 {
+		t.Fatalf("experiments %v", ids)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.Trials = 5
+	cfg.Slots = 50
+	cfg.Runs = 1
+	r, err := RunExperiment("overhead", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "overhead" {
+		t.Fatalf("result id %s", r.ID)
+	}
+	if _, err := RunExperiment("bogus", cfg); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() float64 {
+		n := NewTestbedNetwork(42)
+		nodes := n.Nodes()
+		r, err := n.Uplink(nodes[:2], nodes[2:4], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.SumRate
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different networks")
+	}
+}

@@ -1,0 +1,238 @@
+package backend
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMessageMarshalRoundTrip(t *testing.T) {
+	m := Message{Type: MsgDecodedPacket, From: 2, Seq: 77, Payload: []byte("packet body")}
+	b := m.Marshal()
+	got, n, err := UnmarshalMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d", n, len(b))
+	}
+	if got.Type != m.Type || got.From != m.From || got.Seq != m.Seq || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestMessageMarshalEmptyPayload(t *testing.T) {
+	m := Message{Type: MsgLossReport, From: 1, Seq: 3}
+	got, _, err := UnmarshalMessage(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload %v", got.Payload)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, _, err := UnmarshalMessage([]byte{1, 2, 3}); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("want ErrShortMessage, got %v", err)
+	}
+	// Header claims more payload than present.
+	m := Message{Type: MsgAckMap, Payload: []byte("abcdef")}
+	b := m.Marshal()
+	if _, _, err := UnmarshalMessage(b[:len(b)-2]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("want ErrShortMessage, got %v", err)
+	}
+}
+
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(typ uint8, from uint16, seq uint32, payload []byte) bool {
+		m := Message{Type: MsgType(typ), From: int(from), Seq: seq, Payload: payload}
+		got, n, err := UnmarshalMessage(m.Marshal())
+		if err != nil || n != headerLen+len(payload) {
+			return false
+		}
+		return got.Type == m.Type && got.From == m.From && got.Seq == m.Seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemHubBroadcast(t *testing.T) {
+	h := NewMemHub(3)
+	msg := Message{Type: MsgDecodedPacket, From: 0, Seq: 1, Payload: []byte("p1")}
+	if err := h.Publish(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Sender does not receive its own broadcast.
+	if got := h.Drain(0); len(got) != 0 {
+		t.Fatalf("sender received %d messages", len(got))
+	}
+	for _, port := range []int{1, 2} {
+		got := h.Drain(port)
+		if len(got) != 1 || got[0].Seq != 1 {
+			t.Fatalf("port %d: %v", port, got)
+		}
+	}
+	// Drain clears.
+	if got := h.Drain(1); len(got) != 0 {
+		t.Fatalf("drain not cleared: %v", got)
+	}
+}
+
+func TestMemHubOrderingAndBytes(t *testing.T) {
+	h := NewMemHub(2)
+	for i := 0; i < 5; i++ {
+		h.Publish(0, Message{Type: MsgDecodedPacket, Seq: uint32(i), Payload: []byte{byte(i)}})
+	}
+	got := h.Drain(1)
+	if len(got) != 5 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	for i, m := range got {
+		if m.Seq != uint32(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	// Each message counted once: 5 * (13 + 1).
+	if h.BytesOnWire() != 5*14 {
+		t.Fatalf("bytes %d", h.BytesOnWire())
+	}
+}
+
+func TestMemHubErrors(t *testing.T) {
+	h := NewMemHub(2)
+	if err := h.Publish(5, Message{}); err == nil {
+		t.Fatal("expected port range error")
+	}
+	if got := h.Drain(-1); got != nil {
+		t.Fatal("bad port drain should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 ports")
+		}
+	}()
+	NewMemHub(0)
+}
+
+func TestTCPHubBroadcast(t *testing.T) {
+	h, err := NewTCPHub(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for p := 0; p < 3; p++ {
+		if err := h.ConnectPort(p); err != nil {
+			t.Fatalf("connect %d: %v", p, err)
+		}
+	}
+	msg := Message{Type: MsgDecodedPacket, From: 1, Seq: 42, Payload: bytes.Repeat([]byte("x"), 1500)}
+	if err := h.Publish(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	for _, port := range []int{0, 2} {
+		got := h.DrainWait(port, 1, 2*time.Second)
+		if len(got) != 1 {
+			t.Fatalf("port %d: %d messages", port, len(got))
+		}
+		if got[0].Seq != 42 || !bytes.Equal(got[0].Payload, msg.Payload) {
+			t.Fatalf("port %d: corrupted message", port)
+		}
+	}
+	// Publisher port must not see its own frame.
+	if got := h.Drain(1); len(got) != 0 {
+		t.Fatalf("publisher got echo: %v", got)
+	}
+	if h.BytesOnWire() != int64(len(msg.Marshal())) {
+		t.Fatalf("bytes %d want %d", h.BytesOnWire(), len(msg.Marshal()))
+	}
+}
+
+func TestTCPHubMultipleMessagesInterleaved(t *testing.T) {
+	h, err := NewTCPHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for p := 0; p < 2; p++ {
+		if err := h.ConnectPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := h.Publish(0, Message{Type: MsgChannelUpdate, Seq: uint32(i), Payload: []byte{1, 2, 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := h.DrainWait(1, n, 2*time.Second)
+	if len(got) != n {
+		t.Fatalf("got %d of %d", len(got), n)
+	}
+	for i, m := range got {
+		if m.Seq != uint32(i) {
+			t.Fatalf("TCP stream reordered: %d at %d", m.Seq, i)
+		}
+	}
+}
+
+func TestTCPHubErrors(t *testing.T) {
+	if _, err := NewTCPHub(0); err == nil {
+		t.Fatal("expected error for 0 ports")
+	}
+	h, err := NewTCPHub(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Publish(0, Message{}); err == nil {
+		t.Fatal("expected not-connected error")
+	}
+	if err := h.ConnectPort(5); err == nil {
+		t.Fatal("expected port range error")
+	}
+	if err := h.ConnectPort(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ConnectPort(0); err == nil {
+		t.Fatal("expected already-connected error")
+	}
+	// Close twice is fine.
+	h.Close()
+	h.Close()
+}
+
+func TestVirtualMIMOBackendBits(t *testing.T) {
+	// Paper's example: 3 APs x 4 antennas, 8-bit samples at 2x a 20 MHz
+	// channel: lands in the multi-Gb/s range the paper quotes (~6 Gb/s).
+	bits := VirtualMIMOBackendBits(3, 4, 20e6, 8)
+	if bits < 3e9 || bits > 9e9 {
+		t.Fatalf("virtual MIMO backend %v b/s, expected a few Gb/s", bits)
+	}
+}
+
+func TestIACBackendBits(t *testing.T) {
+	// IAC's backend load tracks the wireless throughput (tens of Mb/s),
+	// orders of magnitude below virtual MIMO's.
+	wireless := 100e6
+	iac := IACBackendBits(wireless, 1)
+	if iac != wireless {
+		t.Fatalf("iac backend %v", iac)
+	}
+	if IACBackendBits(wireless, -1) != 0 {
+		t.Fatal("negative fraction should clamp to 0")
+	}
+	if IACBackendBits(wireless, 2) != wireless {
+		t.Fatal("fraction above 1 should clamp")
+	}
+	red := BackendReduction(3, 4, 20e6, 8, wireless)
+	if red < 10 {
+		t.Fatalf("reduction factor %v, expected >10x", red)
+	}
+	if BackendReduction(3, 4, 20e6, 8, 0) != 0 {
+		t.Fatal("zero throughput reduction should be 0")
+	}
+}

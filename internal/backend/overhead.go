@@ -1,0 +1,46 @@
+package backend
+
+// This file quantifies the backend-bandwidth argument of paper Section
+// 2(a): IAC ships decoded packets, so its Ethernet traffic tracks the
+// wireless throughput; virtual MIMO must ship raw signal samples, whose
+// rate explodes with bandwidth, antennas and sample width.
+
+// VirtualMIMOBackendBits returns the backend bit rate (bits/second)
+// virtual MIMO needs to share raw samples: each of numAPs receivers
+// forwards antennas * 2*bandwidth samples/s (Nyquist, complex) of
+// bitsPerSample each (per I/Q component).
+//
+// The paper's example — 3 APs, 4 antennas, 8-bit samples, 20 MHz 802.11
+// channel — yields about 6 Gb/s (Section 2a; with complex samples
+// counted as two 8-bit components, 3*4*2*20e6*2*8 = 7.7 Gb/s; counting
+// 8 bits per complex sample gives 3.8 Gb/s; the paper quotes ~6 Gb/s).
+func VirtualMIMOBackendBits(numAPs, antennas int, bandwidthHz float64, bitsPerSample int) float64 {
+	// 2*bandwidth real-valued samples per second per antenna (Nyquist for
+	// the complex envelope: bandwidth complex samples = 2*bandwidth
+	// components), each bitsPerSample bits.
+	return float64(numAPs) * float64(antennas) * 2 * bandwidthHz * float64(bitsPerSample)
+}
+
+// IACBackendBits returns the backend bit rate IAC needs: every decoded
+// packet crosses the hub once, so the backend load equals the wireless
+// throughput carried by cancellation-shared packets (at most the whole
+// wireless throughput), independent of sample width.
+func IACBackendBits(wirelessThroughputBits float64, sharedFraction float64) float64 {
+	if sharedFraction < 0 {
+		sharedFraction = 0
+	}
+	if sharedFraction > 1 {
+		sharedFraction = 1
+	}
+	return wirelessThroughputBits * sharedFraction
+}
+
+// BackendReduction returns the factor by which IAC's backend load
+// undercuts virtual MIMO's for the same deployment.
+func BackendReduction(numAPs, antennas int, bandwidthHz float64, bitsPerSample int, wirelessThroughputBits float64) float64 {
+	iac := IACBackendBits(wirelessThroughputBits, 1)
+	if iac == 0 {
+		return 0
+	}
+	return VirtualMIMOBackendBits(numAPs, antennas, bandwidthHz, bitsPerSample) / iac
+}

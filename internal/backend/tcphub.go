@@ -1,0 +1,194 @@
+package backend
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPHub is a Hub whose ports are real TCP connections over the loopback
+// interface. A central goroutine accepts one connection per port and
+// re-broadcasts every received frame to all other ports, mimicking the
+// Ethernet hub the paper connects its APs with (Section 7.1d).
+//
+// Frames on the wire are Message.Marshal bytes; the 4-byte length inside
+// the header delimits them.
+type TCPHub struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+	inbox [][]Message
+	bytes int64
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewTCPHub starts a hub listening on 127.0.0.1 (ephemeral port) and
+// expecting exactly `ports` AP connections. Call Addr to learn the
+// address, ConnectPort once per port, then use the Hub interface.
+func NewTCPHub(ports int) (*TCPHub, error) {
+	if ports <= 0 {
+		return nil, fmt.Errorf("backend: hub needs at least one port")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &TCPHub{
+		ln:     ln,
+		conns:  make([]net.Conn, ports),
+		inbox:  make([][]Message, ports),
+		closed: make(chan struct{}),
+	}
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+// ConnectPort dials the hub and registers the connection as the given
+// port. It must be called exactly once per port before publishing.
+func (h *TCPHub) ConnectPort(port int) error {
+	h.mu.Lock()
+	if port < 0 || port >= len(h.conns) {
+		h.mu.Unlock()
+		return fmt.Errorf("backend: port %d out of range", port)
+	}
+	if h.conns[port] != nil {
+		h.mu.Unlock()
+		return fmt.Errorf("backend: port %d already connected", port)
+	}
+	h.mu.Unlock()
+
+	// Dial and accept must proceed together.
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		c, err := h.ln.Accept()
+		acceptCh <- acceptResult{c, err}
+	}()
+	client, err := net.Dial("tcp", h.Addr())
+	if err != nil {
+		return err
+	}
+	res := <-acceptCh
+	if res.err != nil {
+		client.Close()
+		return res.err
+	}
+	h.mu.Lock()
+	h.conns[port] = client
+	h.mu.Unlock()
+
+	// Server side: read frames from this port and broadcast.
+	h.wg.Add(1)
+	go h.servePort(port, res.conn)
+	return nil
+}
+
+func (h *TCPHub) servePort(port int, conn net.Conn) {
+	defer h.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	hdr := make([]byte, headerLen)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return
+		}
+		plen := int(uint32(hdr[9])<<24 | uint32(hdr[10])<<16 | uint32(hdr[11])<<8 | uint32(hdr[12]))
+		frame := make([]byte, headerLen+plen)
+		copy(frame, hdr)
+		if _, err := io.ReadFull(r, frame[headerLen:]); err != nil {
+			return
+		}
+		msg, _, err := UnmarshalMessage(frame)
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		h.bytes += int64(len(frame))
+		for p := range h.inbox {
+			if p != port {
+				h.inbox[p] = append(h.inbox[p], msg)
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Publish implements Hub: it writes the frame on the port's client
+// connection; the hub goroutine rebroadcasts it.
+func (h *TCPHub) Publish(port int, msg Message) error {
+	h.mu.Lock()
+	if port < 0 || port >= len(h.conns) || h.conns[port] == nil {
+		h.mu.Unlock()
+		return fmt.Errorf("backend: port %d not connected", port)
+	}
+	conn := h.conns[port]
+	h.mu.Unlock()
+	_, err := conn.Write(msg.Marshal())
+	return err
+}
+
+// Drain implements Hub. Because delivery crosses a real socket, callers
+// that need a just-published message should use DrainWait instead.
+func (h *TCPHub) Drain(port int) []Message {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if port < 0 || port >= len(h.inbox) {
+		return nil
+	}
+	out := h.inbox[port]
+	h.inbox[port] = nil
+	return out
+}
+
+// DrainWait drains the port, polling until at least min messages have
+// arrived, every connection has closed, or the timeout expires.
+func (h *TCPHub) DrainWait(port, min int, timeout time.Duration) []Message {
+	deadline := time.Now().Add(timeout)
+	var out []Message
+	for {
+		out = append(out, h.Drain(port)...)
+		if len(out) >= min || time.Now().After(deadline) {
+			return out
+		}
+		select {
+		case <-h.closed:
+			return append(out, h.Drain(port)...)
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// BytesOnWire implements Hub.
+func (h *TCPHub) BytesOnWire() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytes
+}
+
+// Close shuts the hub and all connections down.
+func (h *TCPHub) Close() error {
+	h.closeOnce.Do(func() {
+		close(h.closed)
+		h.ln.Close()
+		h.mu.Lock()
+		for _, c := range h.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		h.mu.Unlock()
+		h.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,315 @@
+package cmplxmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+)
+
+// Matrix is a dense row-major complex matrix.
+type Matrix struct {
+	rows, cols int
+	data       []complex128
+}
+
+// New returns a zero rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("cmplxmat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("cmplxmat: FromRows with empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("cmplxmat: FromRows with ragged rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// FromColumns builds a matrix whose columns are the given vectors.
+func FromColumns(cols ...Vector) *Matrix {
+	if len(cols) == 0 || len(cols[0]) == 0 {
+		panic("cmplxmat: FromColumns with empty input")
+	}
+	m := New(len(cols[0]), len(cols))
+	for j, c := range cols {
+		if len(c) != m.rows {
+			panic("cmplxmat: FromColumns with ragged columns")
+		}
+		for i := range c {
+			m.data[i*m.cols+j] = c[i]
+		}
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diagonal returns a square matrix with d on the diagonal.
+func Diagonal(d ...complex128) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.data[i*m.cols+i] = v
+	}
+	return m
+}
+
+// RandomGaussian returns a rows x cols matrix with i.i.d. circularly
+// symmetric complex Gaussian CN(0,1) entries drawn from rng. This is the
+// standard Rayleigh flat-fading channel model.
+func RandomGaussian(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = complex(rng.NormFloat64()/math.Sqrt2, rng.NormFloat64()/math.Sqrt2)
+	}
+	return m
+}
+
+// RandomGaussianVector returns an n-vector with i.i.d. CN(0,1) entries.
+func RandomGaussianVector(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64()/math.Sqrt2, rng.NormFloat64()/math.Sqrt2)
+	}
+	return v
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) complex128 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// SetAt sets the element at row i, column j. It is the only mutating method.
+func (m *Matrix) SetAt(i, j int, v complex128) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("cmplxmat: index (%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Row returns a copy of row i as a Vector.
+func (m *Matrix) Row(i int) Vector {
+	v := NewVector(m.cols)
+	copy(v, m.data[i*m.cols:(i+1)*m.cols])
+	return v
+}
+
+// Col returns a copy of column j as a Vector.
+func (m *Matrix) Col(j int) Vector {
+	v := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		v[i] = m.data[i*m.cols+j]
+	}
+	return v
+}
+
+// Add returns m + b. It panics if shapes differ.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.mustSameShape(b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m - b. It panics if shapes differ.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.mustSameShape(b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = s * m.data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m*b. It panics if inner dimensions differ.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("cmplxmat: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*b.cols+j] += a * b.data[k*b.cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v. It panics if dimensions differ.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("cmplxmat: MulVec shape mismatch %dx%d * %d", m.rows, m.cols, len(v)))
+	}
+	out := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s complex128
+		for j := 0; j < m.cols; j++ {
+			s += m.data[i*m.cols+j] * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// T returns the (unconjugated) transpose of m. Channel reciprocity (Eq. 8
+// of the paper) relates the downlink channel to the transpose, not the
+// conjugate transpose, of the uplink channel.
+func (m *Matrix) T() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// H returns the conjugate (Hermitian) transpose of m.
+func (m *Matrix) H() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = cmplx.Conj(m.data[i*m.cols+j])
+		}
+	}
+	return out
+}
+
+// Conj returns the element-wise conjugate of m.
+func (m *Matrix) Conj() *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = cmplx.Conj(m.data[i])
+	}
+	return out
+}
+
+// Trace returns the sum of the diagonal entries of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	m.mustSquare()
+	var s complex128
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+i]
+	}
+	return s
+}
+
+// FrobeniusNorm returns sqrt(sum |m_ij|^2). The paper's reciprocity
+// experiment (Fig. 16) measures fractional error in this norm.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest entry magnitude.
+func (m *Matrix) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.data {
+		if a := cmplx.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Equal reports whether m and b agree entry-wise within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if cmplx.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Matrix) mustSameShape(b *Matrix) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("cmplxmat: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+func (m *Matrix) mustSquare() {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("cmplxmat: %dx%d matrix is not square", m.rows, m.cols))
+	}
+}
+
+// String formats m for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			c := m.data[i*m.cols+j]
+			fmt.Fprintf(&b, "%.4g%+.4gi", real(c), imag(c))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package cmplxmat
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// Poly is a complex polynomial stored by ascending power:
+// Poly{c0, c1, c2} represents c0 + c1*z + c2*z^2.
+type Poly []complex128
+
+// Eval evaluates p at z using Horner's rule.
+func (p Poly) Eval(z complex128) complex128 {
+	var s complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		s = s*z + p[i]
+	}
+	return s
+}
+
+// Degree returns the effective degree of p, ignoring leading coefficients
+// with magnitude below tol relative to the largest coefficient. The zero
+// polynomial has degree -1.
+func (p Poly) Degree(tol float64) int {
+	var maxAbs float64
+	for _, c := range p {
+		if a := cmplx.Abs(c); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return -1
+	}
+	for i := len(p) - 1; i >= 0; i-- {
+		if cmplx.Abs(p[i]) > tol*maxAbs {
+			return i
+		}
+	}
+	return -1
+}
+
+// ErrNoRoots is returned when root finding is requested on a constant or
+// zero polynomial.
+var ErrNoRoots = errors.New("cmplxmat: polynomial has no roots")
+
+// Roots returns all complex roots of p using the Durand-Kerner
+// (Weierstrass) simultaneous iteration. The polynomial is trimmed to its
+// effective degree first. Durand-Kerner converges for essentially all
+// polynomials from the standard non-real starting configuration; the
+// alignment determinants this package solves are degree <= 8.
+func (p Poly) Roots() ([]complex128, error) {
+	deg := p.Degree(1e-13)
+	if deg < 1 {
+		return nil, ErrNoRoots
+	}
+	// Normalize to monic.
+	monic := make(Poly, deg+1)
+	lead := p[deg]
+	for i := 0; i <= deg; i++ {
+		monic[i] = p[i] / lead
+	}
+	// Standard starting values: powers of a non-real, non-root-of-unity seed.
+	roots := make([]complex128, deg)
+	seed := complex(0.4, 0.9)
+	acc := complex(1, 0)
+	for i := range roots {
+		acc *= seed
+		roots[i] = acc
+	}
+	next := make([]complex128, deg)
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for i := range roots {
+			num := monic.Eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident estimates.
+				den = complex(1e-12, 1e-12)
+			}
+			delta := num / den
+			next[i] = roots[i] - delta
+			if d := cmplx.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		copy(roots, next)
+		if maxDelta < 1e-14 {
+			break
+		}
+	}
+	return roots, nil
+}
+
+// InterpolatePoly fits the unique polynomial of degree <= len(xs)-1 through
+// the points (xs[i], ys[i]) using Newton divided differences, returned in
+// coefficient form. The xs must be pairwise distinct.
+//
+// The alignment solver uses this to recover det-polynomial coefficients
+// from point evaluations: the determinant of a matrix whose columns are
+// affine in a parameter t is a polynomial in t of degree at most the
+// column count.
+func InterpolatePoly(xs, ys []complex128) Poly {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("cmplxmat: InterpolatePoly needs equal, nonzero point counts")
+	}
+	n := len(xs)
+	// Divided difference coefficients.
+	dd := make([]complex128, n)
+	copy(dd, ys)
+	for level := 1; level < n; level++ {
+		for i := n - 1; i >= level; i-- {
+			dd[i] = (dd[i] - dd[i-1]) / (xs[i] - xs[i-level])
+		}
+	}
+	// Expand Newton form to monomial coefficients.
+	coeffs := make(Poly, n)
+	// basis holds the expanding product (z-x0)(z-x1)..., starting at 1.
+	basis := make(Poly, 1, n)
+	basis[0] = 1
+	for k := 0; k < n; k++ {
+		for i := 0; i < len(basis); i++ {
+			coeffs[i] += dd[k] * basis[i]
+		}
+		if k < n-1 {
+			// basis *= (z - xs[k])
+			nb := make(Poly, len(basis)+1)
+			for i, c := range basis {
+				nb[i+1] += c
+				nb[i] -= c * xs[k]
+			}
+			basis = nb
+		}
+	}
+	return coeffs
+}

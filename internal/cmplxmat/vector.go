@@ -1,0 +1,259 @@
+// Package cmplxmat implements dense complex linear algebra for small
+// matrices (typically 2x2 to 8x8), the regime of MIMO antenna arrays.
+//
+// The package provides the operations interference alignment needs and the
+// Go standard library lacks: Gaussian-elimination inverses, determinants,
+// null spaces, QR and Hermitian eigendecompositions, singular values, and
+// polynomial root finding for the alignment determinant equations.
+//
+// All types use complex128. Matrices are immutable by convention: every
+// operation returns a fresh value and never mutates its receiver or
+// arguments unless the method name says otherwise (e.g. SetAt).
+package cmplxmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Vector is a dense complex column vector.
+type Vector []complex128
+
+// NewVector returns a zero vector of dimension n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dim returns the dimension of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Add returns v + w. It panics if dimensions differ.
+func (v Vector) Add(w Vector) Vector {
+	mustSameDim(v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w. It panics if dimensions differ.
+func (v Vector) Sub(w Vector) Vector {
+	mustSameDim(v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns s*v.
+func (v Vector) Scale(s complex128) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// Dot returns the Hermitian inner product <v, w> = sum conj(v_i) * w_i.
+// It panics if dimensions differ.
+func (v Vector) Dot(w Vector) complex128 {
+	mustSameDim(v, w)
+	var s complex128
+	for i := range v {
+		s += cmplx.Conj(v[i]) * w[i]
+	}
+	return s
+}
+
+// DotU returns the unconjugated bilinear product sum v_i * w_i.
+// This is the product that appears in the paper's rate estimate
+// v^T H w (Section 7.2), which transposes rather than conjugates.
+func (v Vector) DotU(w Vector) complex128 {
+	mustSameDim(v, w)
+	var s complex128
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for i := range v {
+		re, im := real(v[i]), imag(v[i])
+		s += re*re + im*im
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize returns v scaled to unit norm. The zero vector is returned
+// unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v.Clone()
+	}
+	return v.Scale(complex(1/n, 0))
+}
+
+// Conj returns the element-wise complex conjugate of v.
+func (v Vector) Conj() Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = cmplx.Conj(v[i])
+	}
+	return out
+}
+
+// Outer returns the outer product v * w^H (dim(v) x dim(w) matrix).
+func (v Vector) Outer(w Vector) *Matrix {
+	m := New(len(v), len(w))
+	for i := range v {
+		for j := range w {
+			m.data[i*m.cols+j] = v[i] * cmplx.Conj(w[j])
+		}
+	}
+	return m
+}
+
+// IsZero reports whether every entry of v is smaller than tol in magnitude.
+func (v Vector) IsZero(tol float64) bool {
+	for i := range v {
+		if cmplx.Abs(v[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ParallelTo reports whether v and w point along the same complex line,
+// i.e. whether v = alpha*w for some complex scalar alpha, within tol.
+// This is the paper's definition of "aligned" (footnote 2): a scalar
+// multiple preserves alignment. Zero vectors are parallel to everything.
+func (v Vector) ParallelTo(w Vector, tol float64) bool {
+	mustSameDim(v, w)
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return true
+	}
+	// |<v,w>| == |v||w| iff Cauchy-Schwarz is tight iff parallel.
+	d := cmplx.Abs(v.Dot(w))
+	return math.Abs(d-nv*nw) <= tol*nv*nw
+}
+
+// AngleTo returns the principal angle in radians between the complex lines
+// spanned by v and w: acos(|<v,w>| / (|v||w|)). It is 0 for aligned vectors
+// and pi/2 for orthogonal ones. It panics on zero vectors.
+func (v Vector) AngleTo(w Vector) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		panic("cmplxmat: AngleTo of zero vector")
+	}
+	c := cmplx.Abs(v.Dot(w)) / (nv * nw)
+	if c > 1 {
+		c = 1
+	}
+	return math.Acos(c)
+}
+
+// ProjectOnto returns the orthogonal projection of v onto the line
+// spanned by w. It panics if w is zero.
+func (v Vector) ProjectOnto(w Vector) Vector {
+	d := w.Dot(w)
+	if d == 0 {
+		panic("cmplxmat: ProjectOnto zero vector")
+	}
+	return w.Scale(w.Dot(v) / d)
+}
+
+// RejectFrom returns the component of v orthogonal to w: v - proj_w(v).
+func (v Vector) RejectFrom(w Vector) Vector {
+	return v.Sub(v.ProjectOnto(w))
+}
+
+// String formats v for debugging.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g%+.4gi", real(c), imag(c))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func mustSameDim(v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cmplxmat: dimension mismatch %d vs %d", len(v), len(w)))
+	}
+}
+
+// OrthonormalBasis applies modified Gram-Schmidt to the given vectors and
+// returns an orthonormal basis for their span. Vectors whose residual norm
+// falls below tol (relative to their original norm) are dropped as linearly
+// dependent.
+func OrthonormalBasis(tol float64, vs ...Vector) []Vector {
+	var basis []Vector
+	for _, v := range vs {
+		orig := v.Norm()
+		if orig == 0 {
+			continue
+		}
+		u := v.Clone()
+		for _, b := range basis {
+			u = u.Sub(u.ProjectOnto(b))
+		}
+		if u.Norm() <= tol*orig {
+			continue
+		}
+		basis = append(basis, u.Normalize())
+	}
+	return basis
+}
+
+// OrthogonalComplementVector returns a unit vector orthogonal to every
+// vector in vs, or nil if the span of vs already fills the whole space.
+// All vectors must share the same dimension n; the span must have
+// dimension at most n-1 for a complement to exist.
+//
+// This is the paper's "decoding vector" construction: to decode a packet
+// an AP projects on a direction orthogonal to all interference (Section 4).
+func OrthogonalComplementVector(n int, tol float64, vs ...Vector) Vector {
+	basis := OrthonormalBasis(tol, vs...)
+	if len(basis) >= n {
+		return nil
+	}
+	// Project each standard basis vector out of the span; the one with the
+	// largest residual is the numerically safest complement seed.
+	var best Vector
+	bestNorm := -1.0
+	for i := 0; i < n; i++ {
+		e := NewVector(n)
+		e[i] = 1
+		u := e
+		for _, b := range basis {
+			u = u.Sub(u.ProjectOnto(b))
+		}
+		if nrm := u.Norm(); nrm > bestNorm {
+			bestNorm = nrm
+			best = u
+		}
+	}
+	if bestNorm <= tol {
+		return nil
+	}
+	return best.Normalize()
+}

@@ -1,0 +1,423 @@
+// Package core implements the paper's primary contribution: interference
+// alignment and cancellation (IAC) plans for MIMO LANs.
+//
+// A Plan assigns every concurrent packet an encoding vector (applied by
+// its transmitter) and a decode schedule across the receivers. Uplink
+// plans exploit the wired backend: an AP that decodes a packet shares it,
+// and later APs subtract ("cancel") it before zero-forcing the rest.
+// Downlink plans cannot cancel — clients do not share a wire — so the
+// encoding vectors must align all undesired packets at every client.
+//
+// The solvers here produce the constructions of paper Sections 4 and 5:
+//
+//   - SolveUplinkThree:     2 clients, 2 APs, 3 packets (Eq. 2)
+//   - SolveUplinkChain:     3 APs, 2M packets (Eqs. 3-4, Fig. 5, Fig. 8)
+//   - SolveDownlinkTriangle: 3 APs, 3 clients, 3 packets (Eqs. 5-7)
+//   - SolveDownlinkTwoClient: M-1 APs, 2 clients, 2M-2 packets (Lemma 5.1)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/stats"
+)
+
+// ChannelSet holds the channel matrix from every transmitter to every
+// receiver for one scenario: H[tx][rx] is an M x M complex matrix.
+// For uplink scenarios transmitters are clients and receivers are APs;
+// on the downlink the roles flip.
+type ChannelSet [][]*cmplxmat.Matrix
+
+// NewChannelSet allocates a numTx x numRx set with nil entries.
+func NewChannelSet(numTx, numRx int) ChannelSet {
+	cs := make(ChannelSet, numTx)
+	for i := range cs {
+		cs[i] = make([]*cmplxmat.Matrix, numRx)
+	}
+	return cs
+}
+
+// NumTx returns the number of transmitters.
+func (cs ChannelSet) NumTx() int { return len(cs) }
+
+// NumRx returns the number of receivers.
+func (cs ChannelSet) NumRx() int {
+	if len(cs) == 0 {
+		return 0
+	}
+	return len(cs[0])
+}
+
+// Antennas returns the antenna count M of the first channel matrix.
+func (cs ChannelSet) Antennas() int {
+	for _, row := range cs {
+		for _, h := range row {
+			if h != nil {
+				return h.Rows()
+			}
+		}
+	}
+	return 0
+}
+
+// RandomChannelSet draws every channel as an i.i.d. Rayleigh matrix with
+// the given average per-entry power (linear SNR at unit noise). Used by
+// analytic experiments and tests that do not need geometry.
+func RandomChannelSet(rng *rand.Rand, numTx, numRx, m int, snr float64) ChannelSet {
+	cs := NewChannelSet(numTx, numRx)
+	amp := complex(math.Sqrt(snr), 0)
+	for t := 0; t < numTx; t++ {
+		for r := 0; r < numRx; r++ {
+			cs[t][r] = cmplxmat.RandomGaussian(rng, m, m).Scale(amp)
+		}
+	}
+	return cs
+}
+
+// DecodeStep is one stage of successive decoding: receiver Rx decodes
+// Packets after cancelling everything decoded in earlier steps (uplink
+// only; downlink plans have one independent step per receiver).
+type DecodeStep struct {
+	Rx      int
+	Packets []int
+}
+
+// Plan is a complete IAC transmission plan for one slot.
+type Plan struct {
+	// M is the per-node antenna count.
+	M int
+	// Owner maps packet index to its transmitter index.
+	Owner []int
+	// Encoding holds one unit-norm encoding vector per packet.
+	Encoding []cmplxmat.Vector
+	// Schedule is the decode order. Steps run sequentially; within a step
+	// the receiver zero-forces all its packets jointly.
+	Schedule []DecodeStep
+	// Wired reports whether receivers share decoded packets (uplink: APs
+	// on Ethernet). When false, no cancellation happens between steps.
+	Wired bool
+}
+
+// NumPackets returns the number of concurrent packets in the plan.
+func (p *Plan) NumPackets() int { return len(p.Owner) }
+
+// Validate checks structural invariants: every packet appears exactly once
+// in the schedule, owners are in range, and encoding vectors have the
+// right dimension and are unit norm.
+func (p *Plan) Validate() error {
+	if len(p.Encoding) != len(p.Owner) {
+		return fmt.Errorf("core: %d encodings for %d packets", len(p.Encoding), len(p.Owner))
+	}
+	seen := make([]bool, len(p.Owner))
+	for _, step := range p.Schedule {
+		for _, pkt := range step.Packets {
+			if pkt < 0 || pkt >= len(p.Owner) {
+				return fmt.Errorf("core: schedule references packet %d", pkt)
+			}
+			if seen[pkt] {
+				return fmt.Errorf("core: packet %d decoded twice", pkt)
+			}
+			seen[pkt] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("core: packet %d never decoded", i)
+		}
+	}
+	for i, v := range p.Encoding {
+		if v.Dim() != p.M {
+			return fmt.Errorf("core: encoding %d has dim %d want %d", i, v.Dim(), p.M)
+		}
+		if n := v.Norm(); n < 0.999 || n > 1.001 {
+			return fmt.Errorf("core: encoding %d has norm %v", i, n)
+		}
+	}
+	return nil
+}
+
+// PacketPowers splits each node's transmit power budget evenly across the
+// packets it owns, returning per-packet linear power. This keeps the
+// comparison with point-to-point MIMO fair: a node radiates nodePower
+// total regardless of how many concurrent packets it carries.
+func (p *Plan) PacketPowers(nodePower float64) []float64 {
+	counts := map[int]int{}
+	for _, o := range p.Owner {
+		counts[o]++
+	}
+	out := make([]float64, len(p.Owner))
+	for i, o := range p.Owner {
+		out[i] = nodePower / float64(counts[o])
+	}
+	return out
+}
+
+// ErrInfeasible is returned when a solver cannot produce the requested
+// alignment, e.g. the channels are degenerate or the packet-to-client
+// assignment violates the construction's requirements.
+var ErrInfeasible = errors.New("core: alignment infeasible for these channels")
+
+// randUnit returns a random unit vector of dimension m.
+func randUnit(rng *rand.Rand, m int) cmplxmat.Vector {
+	for {
+		v := cmplxmat.RandomGaussianVector(rng, m)
+		if v.Norm() > 1e-6 {
+			return v.Normalize()
+		}
+	}
+}
+
+// receivedDirection returns the spatial direction along which receiver rx
+// observes packet pkt: H[owner][rx] * v_pkt.
+func (p *Plan) receivedDirection(cs ChannelSet, pkt, rx int) cmplxmat.Vector {
+	return cs[p.Owner[pkt]][rx].MulVec(p.Encoding[pkt])
+}
+
+// AlignmentResidual measures how well the plan's alignment holds under
+// the given channels: for each decode step it collects the interference
+// directions that should be confined to a low-dimensional subspace and
+// returns the worst sine of the angle between any interferer and the
+// subspace spanned by the rest. Zero means perfect alignment; values near
+// one mean no alignment. Useful for testing Section 6's claims that
+// frequency offsets and modulation leave alignment intact.
+func (p *Plan) AlignmentResidual(cs ChannelSet) float64 {
+	worst := 0.0
+	decoded := map[int]bool{}
+	for _, step := range p.Schedule {
+		inStep := map[int]bool{}
+		for _, pkt := range step.Packets {
+			inStep[pkt] = true
+		}
+		// Interference at this receiver: packets not yet decoded, not in
+		// this step (and not cancelled, which decoded implies when wired).
+		var interferers []int
+		for pkt := range p.Owner {
+			if p.Wired && decoded[pkt] {
+				continue
+			}
+			if !p.Wired && decoded[pkt] {
+				// Without a wire, previously decoded packets still
+				// interfere at other receivers; but each downlink step has
+				// its own receiver, so they count as interference there.
+				interferers = append(interferers, pkt)
+				continue
+			}
+			if !inStep[pkt] {
+				interferers = append(interferers, pkt)
+			}
+		}
+		// The interference must fit in an (M - len(step.Packets))-dim
+		// subspace for the step's packets to be decodable.
+		free := p.M - len(step.Packets)
+		if len(interferers) > free {
+			dirs := make([]cmplxmat.Vector, len(interferers))
+			for i, pkt := range interferers {
+				dirs[i] = p.receivedDirection(cs, pkt, step.Rx).Normalize()
+			}
+			if r := subspaceExcess(dirs, free); r > worst {
+				worst = r
+			}
+		}
+		for _, pkt := range step.Packets {
+			decoded[pkt] = true
+		}
+	}
+	return worst
+}
+
+// subspaceExcess returns how far the directions stick out of their best
+// fitting dim-dimensional subspace, as the worst residual norm after
+// projecting each direction onto the span of a greedy basis of size dim.
+func subspaceExcess(dirs []cmplxmat.Vector, dim int) float64 {
+	if dim <= 0 {
+		// Any interference at all is excess.
+		worst := 0.0
+		for _, d := range dirs {
+			if n := d.Norm(); n > worst {
+				worst = n
+			}
+		}
+		return worst
+	}
+	// Greedy basis: repeatedly take the direction with the largest
+	// residual against the current basis.
+	basis := make([]cmplxmat.Vector, 0, dim)
+	residual := func(v cmplxmat.Vector) cmplxmat.Vector {
+		u := v.Clone()
+		for _, b := range basis {
+			u = u.Sub(u.ProjectOnto(b))
+		}
+		return u
+	}
+	for len(basis) < dim {
+		bestIdx, bestNorm := -1, 0.0
+		for i, d := range dirs {
+			if n := residual(d).Norm(); n > bestNorm {
+				bestIdx, bestNorm = i, n
+			}
+		}
+		if bestIdx < 0 || bestNorm < 1e-12 {
+			break
+		}
+		basis = append(basis, residual(dirs[bestIdx]).Normalize())
+	}
+	worst := 0.0
+	for _, d := range dirs {
+		if n := residual(d).Norm(); n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+// Evaluation reports the analytic performance of a plan.
+type Evaluation struct {
+	// SINR is the post-projection signal-to-interference-plus-noise ratio
+	// of each packet (linear).
+	SINR []float64
+	// PacketRate is log2(1+SINR) per packet (bit/s/Hz).
+	PacketRate []float64
+	// SumRate is the total achievable rate of the slot, the paper's
+	// Eq. 9 metric.
+	SumRate float64
+	// Decoding holds the unit decoding vector used for each packet.
+	Decoding []cmplxmat.Vector
+}
+
+// Evaluate computes decoding vectors from the estimated channels and then
+// measures the resulting SINR under the true channels.
+//
+// nodePower is each transmitter's total power budget (split across its
+// packets); noise is the receiver noise power. Cancellation uses the
+// estimated channels to reconstruct decoded packets, so channel estimation
+// error leaves residual interference — the same imperfection the paper's
+// implementation faces (Section 8a).
+func (p *Plan) Evaluate(trueCS, estCS ChannelSet, nodePower, noise float64) (Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	k := p.NumPackets()
+	ev := Evaluation{
+		SINR:       make([]float64, k),
+		PacketRate: make([]float64, k),
+		Decoding:   make([]cmplxmat.Vector, k),
+	}
+	powers := p.PacketPowers(nodePower)
+	decoded := map[int]bool{}
+	for _, step := range p.Schedule {
+		inStep := map[int]bool{}
+		for _, pkt := range step.Packets {
+			inStep[pkt] = true
+		}
+		// Residual packets at this receiver: everything not cancelled.
+		var residual []int
+		for pkt := range p.Owner {
+			if p.Wired && decoded[pkt] {
+				continue // cancelled via backend
+			}
+			residual = append(residual, pkt)
+		}
+		for _, pkt := range step.Packets {
+			// Decoding vector: project the estimated signal direction off
+			// the estimated interference subspace (zero forcing). The
+			// interference directions are weighted by transmit amplitude
+			// so that, when estimation noise makes them span more than
+			// M-1 dimensions, the nulled principal subspace suppresses
+			// the strongest interference first (Section 8a: slight
+			// estimation inaccuracy only leaves residual interference).
+			var interfDirs []cmplxmat.Vector
+			for _, q := range residual {
+				if q == pkt {
+					continue
+				}
+				d := estCS[p.Owner[q]][step.Rx].MulVec(p.Encoding[q])
+				interfDirs = append(interfDirs, d.Scale(complex(math.Sqrt(powers[q]), 0)))
+			}
+			sigDir := estCS[p.Owner[pkt]][step.Rx].MulVec(p.Encoding[pkt])
+			w := zfDecodingVector(sigDir, interfDirs, p.M)
+			if w == nil {
+				return Evaluation{}, fmt.Errorf("%w: no decoding vector for packet %d at rx %d", ErrInfeasible, pkt, step.Rx)
+			}
+			ev.Decoding[pkt] = w
+
+			// True post-projection powers.
+			hTrue := trueCS[p.Owner[pkt]][step.Rx]
+			sig := cmplxAbs2(w.Dot(hTrue.MulVec(p.Encoding[pkt]))) * powers[pkt]
+			interf := 0.0
+			for _, q := range residual {
+				if q == pkt {
+					continue
+				}
+				d := trueCS[p.Owner[q]][step.Rx].MulVec(p.Encoding[q])
+				interf += cmplxAbs2(w.Dot(d)) * powers[q]
+			}
+			// Cancellation residual: packets subtracted using estimated
+			// channels leave (Htrue - Hest) v of leakage.
+			if p.Wired {
+				for q := range p.Owner {
+					if !decoded[q] {
+						continue
+					}
+					diff := trueCS[p.Owner[q]][step.Rx].Sub(estCS[p.Owner[q]][step.Rx])
+					interf += cmplxAbs2(w.Dot(diff.MulVec(p.Encoding[q]))) * powers[q]
+				}
+			}
+			sinr := sig / (noise + interf)
+			ev.SINR[pkt] = sinr
+			ev.PacketRate[pkt] = stats.ShannonRate(sinr)
+			ev.SumRate += ev.PacketRate[pkt]
+		}
+		for _, pkt := range step.Packets {
+			decoded[pkt] = true
+		}
+	}
+	return ev, nil
+}
+
+func cmplxAbs2(c complex128) float64 {
+	return real(c)*real(c) + imag(c)*imag(c)
+}
+
+// zfDecodingVector returns a unit vector that nulls the (at most M-1
+// dimensional) dominant subspace of the interference directions while
+// retaining a component along the signal direction. It returns nil when
+// the signal direction is indistinguishable from interference.
+//
+// With exact alignment the interference genuinely spans at most M-1
+// dimensions and this reduces to the paper's orthogonal projection; with
+// estimation noise it nulls the strongest M-1 principal components, the
+// least-squares interference suppressor.
+func zfDecodingVector(sigDir cmplxmat.Vector, interf []cmplxmat.Vector, m int) cmplxmat.Vector {
+	if sigDir.Norm() == 0 {
+		return nil
+	}
+	var basis []cmplxmat.Vector
+	switch {
+	case len(interf) == 0:
+		return sigDir.Normalize() // matched filter: no interference
+	case len(interf) <= m-1:
+		basis = cmplxmat.OrthonormalBasis(1e-12, interf...)
+	default:
+		// Principal components of the stacked interference matrix: null
+		// the strongest m-1 directions.
+		u, s, _ := cmplxmat.FromColumns(interf...).SVD()
+		for j := 0; j < m-1 && j < len(s); j++ {
+			if s[j] <= 1e-12*s[0] {
+				break
+			}
+			basis = append(basis, u.Col(j))
+		}
+	}
+	w := sigDir.Clone()
+	for _, b := range basis {
+		w = w.Sub(w.ProjectOnto(b))
+	}
+	if w.Norm() < 1e-9*sigDir.Norm() {
+		return nil
+	}
+	return w.Normalize()
+}

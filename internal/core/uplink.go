@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iaclan/internal/cmplxmat"
+)
+
+// SolveUplinkThree builds the paper's first IAC example (Section 4b,
+// Fig. 4b): two 2-antenna clients upload three packets to two APs.
+// Client 0 owns packets 0 and 1; client 1 owns packet 2. The encoding
+// vectors align packets 1 and 2 at AP 0 (Eq. 2: H00*v1 = H10*v2), so
+// AP 0 decodes packet 0, ships it over the wire, and AP 1 cancels it and
+// decodes packets 1 and 2.
+//
+// cs must be a 2-transmitter, 2-receiver channel set of invertible
+// matrices (any antenna count M >= 2 works; the construction only uses
+// one aligned pair).
+func SolveUplinkThree(cs ChannelSet, rng *rand.Rand) (*Plan, error) {
+	if cs.NumTx() != 2 || cs.NumRx() != 2 {
+		return nil, fmt.Errorf("core: SolveUplinkThree needs 2 clients and 2 APs, got %dx%d", cs.NumTx(), cs.NumRx())
+	}
+	m := cs.Antennas()
+	v1 := randUnit(rng, m)
+	h10Inv, err := cs[1][0].Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	// Eq. 2: v2 = H10^-1 * H00 * v1 aligns packets 1 and 2 at AP 0.
+	v2 := h10Inv.Mul(cs[0][0]).MulVec(v1).Normalize()
+	// Packet 0's vector is unconstrained; beamform it at AP 0's decoding
+	// direction (the complement of the aligned interference) instead of
+	// sending it blindly. This is transmit matched filtering — part of
+	// the diversity headroom the paper observes beyond the analytic
+	// multiplexing gain (Section 10.1).
+	v0 := matchedFreeVector(cs[0][0], cs[0][0].MulVec(v1), rng)
+	plan := &Plan{
+		M:        m,
+		Owner:    []int{0, 0, 1},
+		Encoding: []cmplxmat.Vector{v0, v1, v2},
+		Schedule: []DecodeStep{
+			{Rx: 0, Packets: []int{0}},
+			{Rx: 1, Packets: []int{1, 2}},
+		},
+		Wired: true,
+	}
+	return plan, nil
+}
+
+// UplinkChainAssignment describes the packet layout SolveUplinkChain
+// builds plans for: 2M packets across M clients, three APs.
+//
+// Client k owns packets 2k and 2k+1. The odd packets {1, 3, ..., 2M-1}
+// of clients 1..M-1 plus packet 1 form the sets the construction aligns:
+//
+//   - AP 0 decodes packet 0 after all other 2M-1 packets collapse into an
+//     (M-1)-dimensional subspace there.
+//   - AP 1 cancels packet 0 and decodes the M-1 packets {2,4,...}? No --
+//     see below -- it decodes the B set while the A set stays aligned on
+//     one direction.
+//   - AP 2 cancels everything decoded so far and zero-forces the A set.
+//
+// Concretely, A = {1, 3, ..., 2M-1} (one packet per client: the alignment
+// requires distinct owners, because two same-owner packets aligned at one
+// AP would be parallel at every AP) and B = {2, 4, ..., 2M-2}.
+//
+// For M=2 this is exactly the paper's four-packet example (Fig. 5,
+// Eqs. 3-4), and for M=3 the six-packet example (Fig. 8). The paper's
+// Lemma 5.2 states 2M packets are achievable with as few as two clients;
+// the constructive proof lives in an unpublished tech report [15], so this
+// repository implements the M-client construction its figures depict.
+type UplinkChainAssignment struct {
+	M int
+}
+
+// NumClients returns the client count the assignment needs. M=2 uses
+// three clients (the paper's Fig. 5 layout: client 0 owns two packets,
+// clients 1 and 2 one each); M>=3 uses M clients with two packets each
+// (Fig. 8). The M=2 case cannot reuse the two-packets-per-client layout:
+// with only one free dimension in the aligned subspace's null space, the
+// B-set vector of a client would be forced parallel to its own A-set
+// vector, making the two packets inseparable at every AP.
+func (a UplinkChainAssignment) NumClients() int {
+	if a.M == 2 {
+		return 3
+	}
+	return a.M
+}
+
+// Owners returns the owner of each of the 2M packets.
+func (a UplinkChainAssignment) Owners() []int {
+	if a.M == 2 {
+		return []int{0, 0, 1, 2} // Fig. 5: p0,p1 from client 0; p2, p3 single
+	}
+	owners := make([]int, 2*a.M)
+	for i := range owners {
+		owners[i] = i / 2
+	}
+	return owners
+}
+
+// ASet returns the packets aligned at AP 1 and decoded at AP 2. Their
+// owners are pairwise distinct: two same-owner packets aligned at one AP
+// would have parallel encoding vectors and collide at every AP.
+func (a UplinkChainAssignment) ASet() []int {
+	if a.M == 2 {
+		return []int{2, 3}
+	}
+	set := make([]int, a.M)
+	for k := 0; k < a.M; k++ {
+		set[k] = 2*k + 1
+	}
+	return set
+}
+
+// BSet returns the packets decoded at AP 1.
+func (a UplinkChainAssignment) BSet() []int {
+	if a.M == 2 {
+		return []int{1}
+	}
+	set := make([]int, 0, a.M-1)
+	for k := 1; k < a.M; k++ {
+		set = append(set, 2*k)
+	}
+	return set
+}
+
+// SolveUplinkChain builds a 2M-packet uplink plan over M clients and
+// three APs (paper Section 5b). cs must be M transmitters by 3 receivers
+// with invertible M x M channels.
+//
+// The construction:
+//
+//  1. The A-set packets must share one direction d at AP 1:
+//     v_a = H[c(a)][1]^-1 * d, so their AP-0 directions are G_a*d with
+//     G_a = H[c(a)][0] * H[c(a)][1]^-1.
+//  2. AP 0 needs all 2M-1 packets other than packet 0 inside an
+//     (M-1)-dim subspace, so the M vectors {G_a d} must be linearly
+//     dependent: det[G_a1 d ... G_aM d] = 0, a degree-M polynomial in d
+//     solved along a random line d = x + t*y.
+//  3. The B-set vectors are chosen in the null space of u1^H * H[c(b)][0],
+//     where u1 is the normal of the aligned subspace at AP 0, placing
+//     them inside it.
+//  4. Packet 0's vector is random; its AP-0 direction is generically
+//     outside the subspace, so AP 0 decodes it by orthogonal projection.
+func SolveUplinkChain(cs ChannelSet, rng *rand.Rand) (*Plan, error) {
+	m := cs.Antennas()
+	if m < 2 {
+		return nil, fmt.Errorf("core: chain construction needs M >= 2")
+	}
+	asgn := UplinkChainAssignment{M: m}
+	if cs.NumTx() != asgn.NumClients() {
+		return nil, fmt.Errorf("core: chain construction needs %d clients for M=%d, got %d", asgn.NumClients(), m, cs.NumTx())
+	}
+	if cs.NumRx() != 3 {
+		return nil, fmt.Errorf("core: chain construction needs 3 APs, got %d", cs.NumRx())
+	}
+	owners := asgn.Owners()
+	aSet := asgn.ASet()
+	bSet := asgn.BSet()
+
+	// Step 1: G_a per aligned packet.
+	g := make([]*cmplxmat.Matrix, len(aSet))
+	for i, a := range aSet {
+		inv, err := cs[owners[a]][1].Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("%w: H[%d][1] singular", ErrInfeasible, owners[a])
+		}
+		g[i] = cs[owners[a]][0].Mul(inv)
+	}
+
+	// Step 2: root of det[G_1 d, ..., G_M d] = 0 along d = x + t*y.
+	d, err := dependentDirection(g, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	enc := make([]cmplxmat.Vector, 2*m)
+	// Aligned packets.
+	ap0Dirs := make([]cmplxmat.Vector, 0, m)
+	for i, a := range aSet {
+		inv, _ := cs[owners[a]][1].Inverse() // invertibility checked above
+		enc[a] = inv.MulVec(d).Normalize()
+		ap0Dirs = append(ap0Dirs, g[i].MulVec(d))
+	}
+
+	// Step 3: normal of the aligned subspace at AP 0.
+	basis := cmplxmat.OrthonormalBasis(1e-9, ap0Dirs...)
+	if len(basis) != m-1 {
+		return nil, fmt.Errorf("%w: aligned subspace has dim %d, want %d", ErrInfeasible, len(basis), m-1)
+	}
+	u1 := cmplxmat.OrthogonalComplementVector(m, 1e-9, basis...)
+	if u1 == nil {
+		return nil, fmt.Errorf("%w: no subspace normal", ErrInfeasible)
+	}
+
+	// B-set packets: v_b in the null space of the row u1^H * H[c(b)][0].
+	for _, b := range bSet {
+		row := cmplxmat.New(1, m)
+		hb := cs[owners[b]][0]
+		for j := 0; j < m; j++ {
+			row.SetAt(0, j, u1.Dot(hb.Col(j)))
+		}
+		ns := row.NullSpace(1e-9)
+		if len(ns) == 0 {
+			return nil, fmt.Errorf("%w: empty null space for packet %d", ErrInfeasible, b)
+		}
+		// Random combination within the null space avoids pathological
+		// overlaps between B-set directions at AP 1.
+		v := cmplxmat.NewVector(m)
+		for _, n := range ns {
+			c := cmplxmat.RandomGaussianVector(rng, 1)[0]
+			v = v.Add(n.Scale(c))
+		}
+		enc[b] = v.Normalize()
+	}
+
+	// Packet 0: beamformed at AP 0's decoding direction u1 (the normal of
+	// the aligned subspace): v0 = H^H u1 maximizes |u1^H H v0|.
+	enc[0] = cs[owners[0]][0].H().MulVec(u1).Normalize()
+	if enc[0].Norm() == 0 {
+		enc[0] = randUnit(rng, m)
+	}
+
+	plan := &Plan{
+		M:        m,
+		Owner:    owners,
+		Encoding: enc,
+		Schedule: []DecodeStep{
+			{Rx: 0, Packets: []int{0}},
+			{Rx: 1, Packets: bSet},
+			{Rx: 2, Packets: aSet},
+		},
+		Wired: true,
+	}
+	return plan, nil
+}
+
+// dependentDirection finds a nonzero d with det[g[0]d, ..., g[k-1]d] = 0,
+// where k = len(g) equals the matrix dimension. It parametrizes d along a
+// random complex line, interpolates the degree-k determinant polynomial
+// from k+1 point evaluations, and roots it with Durand-Kerner. Roots are
+// screened so the resulting column family has rank exactly k-1.
+func dependentDirection(g []*cmplxmat.Matrix, rng *rand.Rand) (cmplxmat.Vector, error) {
+	m := g[0].Rows()
+	if len(g) != m {
+		return nil, fmt.Errorf("core: need %d matrices for dimension %d, got %d", m, m, len(g))
+	}
+	if m == 1 {
+		return nil, fmt.Errorf("%w: no nontrivial dependence in dimension 1", ErrInfeasible)
+	}
+	detAt := func(d cmplxmat.Vector) complex128 {
+		cols := make([]cmplxmat.Vector, m)
+		for i := range g {
+			cols[i] = g[i].MulVec(d)
+		}
+		return cmplxmat.FromColumns(cols...).Det()
+	}
+	const maxAttempts = 8
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		x := cmplxmat.RandomGaussianVector(rng, m)
+		y := cmplxmat.RandomGaussianVector(rng, m)
+		// Sample at m+1 points and interpolate the degree-m polynomial.
+		ts := make([]complex128, m+1)
+		vals := make([]complex128, m+1)
+		for i := range ts {
+			// Deterministic, well-separated sample points.
+			ts[i] = complex(float64(i)-float64(m)/2, float64(i%2)+0.5)
+			vals[i] = detAt(x.Add(y.Scale(ts[i])))
+		}
+		poly := cmplxmat.InterpolatePoly(ts, vals)
+		roots, err := poly.Roots()
+		if err != nil {
+			continue
+		}
+		for _, t := range roots {
+			d := x.Add(y.Scale(t))
+			if d.Norm() < 1e-9 {
+				continue
+			}
+			d = d.Normalize()
+			cols := make([]cmplxmat.Vector, m)
+			for i := range g {
+				cols[i] = g[i].MulVec(d)
+			}
+			mat := cmplxmat.FromColumns(cols...)
+			if mat.Rank(1e-7) == m-1 {
+				return d, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no dependent direction found", ErrInfeasible)
+}
+
+// matchedFreeVector beamforms an unconstrained packet at the projection
+// direction its receiver will use: given the channel h and the aligned
+// interference direction d at that receiver, the receiver projects on
+// w = complement(d), and the transmit vector maximizing |w^H h v| is
+// v = h^H w (transmit matched filter). Falls back to a random vector for
+// degenerate channels.
+func matchedFreeVector(h *cmplxmat.Matrix, alignedDir cmplxmat.Vector, rng *rand.Rand) cmplxmat.Vector {
+	m := h.Rows()
+	w := cmplxmat.OrthogonalComplementVector(m, 1e-12, alignedDir)
+	if w == nil {
+		return randUnit(rng, m)
+	}
+	v := h.H().MulVec(w)
+	if v.Norm() < 1e-12 {
+		return randUnit(rng, m)
+	}
+	return v.Normalize()
+}

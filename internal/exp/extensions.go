@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iaclan/internal/channel"
+	"iaclan/internal/core"
+	"iaclan/internal/stats"
+	"iaclan/internal/testbed"
+)
+
+// OFDMAlignment tests the paper's Section 6(c) conjecture beyond what
+// the authors could measure on narrowband USRPs: in a frequency-
+// selective channel, alignment done separately per OFDM subcarrier is
+// exact, while a single flat-assumption alignment degrades gracefully
+// with the channel's selectivity — staying "acceptable" for moderate
+// width channels.
+//
+// Setup: 2 clients, 2 APs, 64 subcarriers, multi-tap channels with an
+// exponentially decaying power-delay profile; alignment residual (0 =
+// perfect, 1 = none) and mean rates for both strategies at three
+// selectivity levels.
+func OFDMAlignment(cfg Config) (Result, error) {
+	const nsub = 64
+	r := Result{
+		ID:         "ofdm",
+		Title:      "per-subcarrier alignment in frequency-selective channels",
+		PaperClaim: "Section 6c conjecture: align per subcarrier; moderate selectivity keeps even flat alignment acceptable",
+		Metrics:    map[string]float64{},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, sel := range []struct {
+		name  string
+		taps  int
+		decay float64
+	}{
+		{"flat", 1, 0},
+		{"moderate", 2, 0.08}, // one weak echo: a moderate-width channel
+		{"severe", 8, 0.8},
+	} {
+		p := channel.DefaultParams()
+		p.ShadowSigmaDB = 0
+		w := channel.NewWorld(p, cfg.Seed)
+		c0 := w.AddNode(1, 1)
+		c1 := w.AddNode(1, 7)
+		ap0 := w.AddNode(7, 2)
+		ap1 := w.AddNode(7, 6)
+
+		// Per-pair multipath channels and their per-subcarrier responses.
+		ocs := make(core.OFDMChannelSet, nsub)
+		for k := range ocs {
+			ocs[k] = core.NewChannelSet(2, 2)
+		}
+		for i, c := range []*channel.Node{c0, c1} {
+			for j, ap := range []*channel.Node{ap0, ap1} {
+				mc := w.MultipathFrom(c, ap, sel.taps, sel.decay)
+				for k := 0; k < nsub; k++ {
+					ocs[k][i][j] = mc.FrequencyResponse(k, nsub)
+				}
+			}
+		}
+
+		perSub, err := core.SolveUplinkThreePerSubcarrier(ocs, rng)
+		if err != nil {
+			return Result{}, fmt.Errorf("ofdm %s: %w", sel.name, err)
+		}
+		ref := nsub / 2
+		flat, err := core.SolveUplinkThreeFlatAssumption(ocs, ref, rng)
+		if err != nil {
+			return Result{}, fmt.Errorf("ofdm %s: %w", sel.name, err)
+		}
+		r.Metrics["residual_persub_"+sel.name] = stats.Max(perSub.AlignmentResidualPerSubcarrier(ocs))
+		// The conjecture's actual claim: "nearby subcarriers typically
+		// have similar frequency response", so one alignment serves its
+		// neighborhood. Split the flat-assumption residual by distance
+		// from the reference subcarrier.
+		flatRes := flat.AlignmentResidualPerSubcarrier(ocs)
+		var near, far []float64
+		for k, v := range flatRes {
+			d := k - ref
+			if d < 0 {
+				d = -d
+			}
+			switch {
+			case d == 0:
+				// reference itself: exact by construction
+			case d <= 2:
+				near = append(near, v)
+			case d >= nsub/4:
+				far = append(far, v)
+			}
+		}
+		r.Metrics["residual_near_"+sel.name] = stats.Mean(near)
+		r.Metrics["residual_far_"+sel.name] = stats.Mean(far)
+
+		noise := 1.0
+		if rate, _, err := perSub.EvaluatePerSubcarrier(ocs, ocs, testbed.NodePower, noise); err == nil {
+			r.Metrics["rate_persub_"+sel.name] = rate
+		}
+		if rate, _, err := flat.EvaluatePerSubcarrier(ocs, ocs, testbed.NodePower, noise); err == nil {
+			r.Metrics["rate_flat_"+sel.name] = rate
+		}
+	}
+	return r, nil
+}
+
+// AdHocClusters models the conclusion's clustered MIMO ad-hoc scenario
+// (paper Fig. 17): traffic flows through a chain of clusters; links
+// inside a cluster are fast (members also share a local wire-equivalent
+// high-rate mesh), links between clusters are slow and bottleneck the
+// network. IAC runs on the inter-cluster hop — the receiving cluster's
+// nodes cooperate like wire-connected APs — and lifts the bottleneck.
+//
+// Reported: end-to-end throughput min(intra, inter) with and without
+// IAC on the bottleneck hop.
+func AdHocClusters(cfg Config) (Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := channel.DefaultParams()
+	w := channel.NewWorld(p, cfg.Seed)
+	// Cluster A (senders) around (2,2); cluster B (relays/receivers)
+	// around (20,2): the long hop is the bottleneck.
+	a0 := w.AddNode(1.5, 1.5)
+	a1 := w.AddNode(2.5, 2.5)
+	b0 := w.AddNode(20, 1.5)
+	b1 := w.AddNode(20, 3.0)
+
+	s := testbed.Scenario{World: w, Clients: []*channel.Node{a0, a1}, APs: []*channel.Node{b0, b1}}
+
+	var interIAC, interBase float64
+	trials := cfg.Trials
+	if trials < 5 {
+		trials = 5
+	}
+	n := 0
+	for t := 0; t < trials; t++ {
+		w.Perturb(1)
+		iacRate, err := testbed.AverageUplinkIAC(s, rng)
+		if err != nil {
+			continue
+		}
+		interIAC += iacRate
+		interBase += testbed.BaselineTDMARate(s, true)
+		n++
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("adhoc: all trials failed")
+	}
+	interIAC /= float64(n)
+	interBase /= float64(n)
+
+	// Intra-cluster rate: short-range link, far above the bottleneck.
+	intra := testbed.BaselineUplinkRate(testbed.Scenario{
+		World: w, Clients: []*channel.Node{a0}, APs: []*channel.Node{a1},
+	}, 0)
+
+	endToEndBase := minf(intra, interBase)
+	endToEndIAC := minf(intra, interIAC)
+	r := Result{
+		ID:         "adhoc",
+		Title:      "clustered ad-hoc network: IAC on the inter-cluster bottleneck",
+		PaperClaim: "IAC doubles the throughput of the bottleneck inter-cluster links (conclusion, Fig. 17)",
+		Metrics: map[string]float64{
+			"intra_cluster_bpshz":     intra,
+			"inter_base_bpshz":        interBase,
+			"inter_iac_bpshz":         interIAC,
+			"bottleneck_gain":         interIAC / interBase,
+			"end_to_end_base_bpshz":   endToEndBase,
+			"end_to_end_iac_bpshz":    endToEndIAC,
+			"end_to_end_gain":         endToEndIAC / endToEndBase,
+			"bottleneck_is_intercell": boolMetric(interBase < intra),
+		},
+	}
+	return r, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,226 @@
+// Package mac implements IAC's medium access control (paper Section 7):
+// an 802.11 PCF extension where a leader AP arbitrates the medium for
+// transmission groups of concurrent clients, plus the concurrency
+// algorithms (brute force, FIFO, best-of-two with credit counters) that
+// decide which clients transmit together.
+package mac
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"iaclan/internal/cmplxmat"
+)
+
+// ClientID identifies an associated client; ids are "given to the clients
+// upon association" (Section 7.1).
+type ClientID uint16
+
+// FrameType tags the control frames of the PCF extension (Fig. 9).
+type FrameType uint8
+
+const (
+	// FrameBeacon starts a contention-free period and carries the ack
+	// bitmap for the previous CFP's uplink packets.
+	FrameBeacon FrameType = iota + 1
+	// FrameDataPoll precedes a downlink transmission group: the leader
+	// broadcasts client ids and encoding/decoding vectors (Fig. 10).
+	FrameDataPoll
+	// FrameGrant precedes an uplink transmission group.
+	FrameGrant
+	// FrameCFEnd closes the contention-free period.
+	FrameCFEnd
+)
+
+// VectorEntry carries one client-AP pair's encoding and decoding vectors
+// inside DATA+Poll / Grant metadata.
+type VectorEntry struct {
+	Client   ClientID
+	Encoding cmplxmat.Vector
+	Decoding cmplxmat.Vector
+}
+
+// PollFrame is the metadata broadcast of Fig. 10: frame id, AP count, and
+// per-client vector entries, protected by a checksum so "the clients and
+// APs can use the checksum to test whether they received the correct
+// information".
+type PollFrame struct {
+	Type    FrameType // FrameDataPoll or FrameGrant
+	Fid     uint32
+	NumAPs  uint8
+	Entries []VectorEntry
+}
+
+// Beacon announces a CFP and acknowledges the previous CFP's uplink
+// packets as a bitmap indexed by poll order (Section 7.1 b.2).
+type Beacon struct {
+	CFPDurationSlots uint16
+	AckMap           []byte
+}
+
+var (
+	// ErrBadFrame is returned for malformed or checksum-failing frames.
+	ErrBadFrame = errors.New("mac: bad frame")
+)
+
+func putComplex(b []byte, c complex128) {
+	binary.BigEndian.PutUint64(b, math.Float64bits(real(c)))
+	binary.BigEndian.PutUint64(b[8:], math.Float64bits(imag(c)))
+}
+
+func getComplex(b []byte) complex128 {
+	return complex(
+		math.Float64frombits(binary.BigEndian.Uint64(b)),
+		math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+	)
+}
+
+// Marshal encodes the poll frame:
+// type(1) fid(4) numAPs(1) dim(1) numEntries(2)
+// entries[client(2) enc(16*dim) dec(16*dim)] crc32(4).
+func (p PollFrame) Marshal() ([]byte, error) {
+	if p.Type != FrameDataPoll && p.Type != FrameGrant {
+		return nil, fmt.Errorf("%w: type %d is not a poll frame", ErrBadFrame, p.Type)
+	}
+	dim := 0
+	if len(p.Entries) > 0 {
+		dim = p.Entries[0].Encoding.Dim()
+	}
+	for _, e := range p.Entries {
+		if e.Encoding.Dim() != dim || e.Decoding.Dim() != dim {
+			return nil, fmt.Errorf("%w: inconsistent vector dimensions", ErrBadFrame)
+		}
+	}
+	size := 1 + 4 + 1 + 1 + 2 + len(p.Entries)*(2+32*dim) + 4
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(p.Type))
+	buf = binary.BigEndian.AppendUint32(buf, p.Fid)
+	buf = append(buf, p.NumAPs, byte(dim))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Entries)))
+	scratch := make([]byte, 16)
+	for _, e := range p.Entries {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(e.Client))
+		for _, v := range []cmplxmat.Vector{e.Encoding, e.Decoding} {
+			for _, c := range v {
+				putComplex(scratch, c)
+				buf = append(buf, scratch...)
+			}
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalPollFrame decodes and checksum-verifies a poll frame.
+func UnmarshalPollFrame(b []byte) (PollFrame, error) {
+	if len(b) < 13 {
+		return PollFrame{}, fmt.Errorf("%w: truncated poll frame", ErrBadFrame)
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return PollFrame{}, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	p := PollFrame{Type: FrameType(body[0])}
+	if p.Type != FrameDataPoll && p.Type != FrameGrant {
+		return PollFrame{}, fmt.Errorf("%w: type %d", ErrBadFrame, body[0])
+	}
+	p.Fid = binary.BigEndian.Uint32(body[1:5])
+	p.NumAPs = body[5]
+	dim := int(body[6])
+	n := int(binary.BigEndian.Uint16(body[7:9]))
+	want := 9 + n*(2+32*dim)
+	if len(body) != want {
+		return PollFrame{}, fmt.Errorf("%w: length %d want %d", ErrBadFrame, len(body), want)
+	}
+	off := 9
+	for i := 0; i < n; i++ {
+		e := VectorEntry{Client: ClientID(binary.BigEndian.Uint16(body[off:]))}
+		off += 2
+		e.Encoding = make(cmplxmat.Vector, dim)
+		for d := 0; d < dim; d++ {
+			e.Encoding[d] = getComplex(body[off:])
+			off += 16
+		}
+		e.Decoding = make(cmplxmat.Vector, dim)
+		for d := 0; d < dim; d++ {
+			e.Decoding[d] = getComplex(body[off:])
+			off += 16
+		}
+		p.Entries = append(p.Entries, e)
+	}
+	return p, nil
+}
+
+// Marshal encodes a beacon: type(1) dur(2) ackLen(2) ackMap crc(4).
+func (b Beacon) Marshal() []byte {
+	buf := make([]byte, 0, 9+len(b.AckMap))
+	buf = append(buf, byte(FrameBeacon))
+	buf = binary.BigEndian.AppendUint16(buf, b.CFPDurationSlots)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(b.AckMap)))
+	buf = append(buf, b.AckMap...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// UnmarshalBeacon decodes and verifies a beacon frame.
+func UnmarshalBeacon(raw []byte) (Beacon, error) {
+	if len(raw) < 9 {
+		return Beacon{}, fmt.Errorf("%w: truncated beacon", ErrBadFrame)
+	}
+	body, sum := raw[:len(raw)-4], binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Beacon{}, fmt.Errorf("%w: beacon checksum", ErrBadFrame)
+	}
+	if FrameType(body[0]) != FrameBeacon {
+		return Beacon{}, fmt.Errorf("%w: not a beacon", ErrBadFrame)
+	}
+	n := int(binary.BigEndian.Uint16(body[3:5]))
+	if len(body) != 5+n {
+		return Beacon{}, fmt.Errorf("%w: beacon length", ErrBadFrame)
+	}
+	b := Beacon{CFPDurationSlots: binary.BigEndian.Uint16(body[1:3])}
+	if n > 0 {
+		b.AckMap = append([]byte(nil), body[5:5+n]...)
+	}
+	return b, nil
+}
+
+// AckBit reads client i's bit from an ack map.
+func AckBit(ackMap []byte, i int) bool {
+	if i < 0 || i/8 >= len(ackMap) {
+		return false
+	}
+	return ackMap[i/8]&(1<<uint(i%8)) != 0
+}
+
+// SetAckBit sets client i's bit, growing the map as needed, and returns
+// the (possibly reallocated) map.
+func SetAckBit(ackMap []byte, i int) []byte {
+	for i/8 >= len(ackMap) {
+		ackMap = append(ackMap, 0)
+	}
+	ackMap[i/8] |= 1 << uint(i%8)
+	return ackMap
+}
+
+// MetadataOverhead returns the fraction of airtime the poll metadata
+// costs for a transmission group, the Section 7.1(e) accounting:
+// metadata bytes / (metadata + group's data payload bytes). The paper
+// quotes 1-2% for 1440-byte packets and a few bytes per client-AP pair.
+func MetadataOverhead(numPairs, antennas, payloadBytes int) float64 {
+	p := PollFrame{Type: FrameDataPoll, NumAPs: uint8(numPairs)}
+	for i := 0; i < numPairs; i++ {
+		v := make(cmplxmat.Vector, antennas)
+		p.Entries = append(p.Entries, VectorEntry{Client: ClientID(i), Encoding: v, Decoding: v})
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		panic(err) // construction above is always well formed
+	}
+	meta := float64(len(raw))
+	data := float64(numPairs * payloadBytes)
+	return meta / (meta + data)
+}

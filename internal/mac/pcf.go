@@ -1,0 +1,234 @@
+package mac
+
+import (
+	"fmt"
+)
+
+// SlotResult reports what one concurrent transmission slot achieved for
+// each group member.
+type SlotResult struct {
+	// Rate is the achieved rate per client in the group, aligned with the
+	// group slice passed to the runner.
+	Rate []float64
+	// Lost marks group members whose packet failed (no ack).
+	Lost []bool
+}
+
+// SlotRunner executes one transmission group on the PHY (or a model of
+// it) and returns the outcome. The group slice is never empty.
+type SlotRunner func(group []ClientID) SlotResult
+
+// Config parametrizes the PCF simulator.
+type Config struct {
+	// GroupSize is the number of clients per transmission group.
+	GroupSize int
+	// CPSlots is the fixed contention-period length appended to every
+	// CFP ("the duration of the contention period is constant").
+	CPSlots int
+	// MaxRetries bounds how often a lost packet is rescheduled.
+	MaxRetries int
+}
+
+// ClientStats accumulates per-client outcomes for fairness analysis.
+type ClientStats struct {
+	Delivered int
+	Lost      int
+	RateSum   float64
+	Slots     int
+}
+
+// MeanRate returns the client's average rate per participating slot.
+func (s ClientStats) MeanRate() float64 {
+	if s.Slots == 0 {
+		return 0
+	}
+	return s.RateSum / float64(s.Slots)
+}
+
+// Simulator drives contention-free periods: it maintains the leader AP's
+// FIFO queue, forms transmission groups with the configured picker, runs
+// them through the SlotRunner, acknowledges via the next beacon's bitmap,
+// and reschedules losses.
+type Simulator struct {
+	cfg    Config
+	picker GroupPicker
+	est    RateEstimator
+	run    SlotRunner
+
+	queue   []queuedPacket
+	stats   map[ClientID]*ClientStats
+	beacons int
+	slots   int
+	// pendingAcks collects (client, success) outcomes of the current CFP
+	// for the next beacon's ack map.
+	pendingAcks []ackEntry
+}
+
+type queuedPacket struct {
+	client  ClientID
+	retries int
+}
+
+type ackEntry struct {
+	client ClientID
+	ok     bool
+}
+
+// NewSimulator builds a simulator. est estimates group rates for the
+// picker; run executes groups.
+func NewSimulator(cfg Config, picker GroupPicker, est RateEstimator, run SlotRunner) *Simulator {
+	if cfg.GroupSize < 1 {
+		panic("mac: GroupSize must be >= 1")
+	}
+	if picker == nil || est == nil || run == nil {
+		panic("mac: picker, estimator and runner are required")
+	}
+	return &Simulator{
+		cfg:    cfg,
+		picker: picker,
+		est:    est,
+		run:    run,
+		stats:  make(map[ClientID]*ClientStats),
+	}
+}
+
+// Enqueue appends a packet for the client to the leader's FIFO queue.
+func (s *Simulator) Enqueue(c ClientID) {
+	s.queue = append(s.queue, queuedPacket{client: c})
+}
+
+// QueueLen returns the number of queued packets.
+func (s *Simulator) QueueLen() int { return len(s.queue) }
+
+// Stats returns the accumulated per-client statistics map (live view).
+func (s *Simulator) Stats() map[ClientID]*ClientStats { return s.stats }
+
+// Beacons returns how many CFPs have run.
+func (s *Simulator) Beacons() int { return s.beacons }
+
+// Slots returns the total transmission slots consumed, including the
+// constant contention period after each CFP — the airtime denominator
+// for throughput accounting.
+func (s *Simulator) Slots() int { return s.slots }
+
+// RunCFP executes one contention-free period: beacon (with the previous
+// CFP's ack map), then one slot per transmission group until every client
+// with pending traffic has been served once this CFP ("the APs serve one
+// packet to each client that has pending traffic"), then CF-End and the
+// constant contention period. It returns the beacon that opened the CFP.
+func (s *Simulator) RunCFP() Beacon {
+	// Build the beacon's ack map from the previous CFP.
+	var ackMap []byte
+	for i, e := range s.pendingAcks {
+		if e.ok {
+			ackMap = SetAckBit(ackMap, i)
+		}
+	}
+	s.pendingAcks = nil
+	beacon := Beacon{AckMap: ackMap}
+	s.beacons++
+
+	served := map[ClientID]bool{}
+	var cfpSlots int
+	for {
+		// Eligible queue view: packets from clients not yet served this
+		// CFP, in FIFO order.
+		var view []ClientID
+		for _, qp := range s.queue {
+			if !served[qp.client] {
+				view = append(view, qp.client)
+			}
+		}
+		if len(view) == 0 {
+			break
+		}
+		group := s.picker.PickGroup(view, s.cfg.GroupSize, s.est)
+		if len(group) == 0 {
+			break
+		}
+		res := s.run(group)
+		if len(res.Rate) != len(group) || len(res.Lost) != len(group) {
+			panic(fmt.Sprintf("mac: SlotRunner returned %d/%d results for %d clients", len(res.Rate), len(res.Lost), len(group)))
+		}
+		cfpSlots++
+		for i, c := range group {
+			served[c] = true
+			st := s.statFor(c)
+			st.Slots++
+			s.dequeueOne(c, res.Lost[i])
+			if res.Lost[i] {
+				st.Lost++
+				s.pendingAcks = append(s.pendingAcks, ackEntry{c, false})
+			} else {
+				st.Delivered++
+				st.RateSum += res.Rate[i]
+				s.pendingAcks = append(s.pendingAcks, ackEntry{c, true})
+			}
+		}
+	}
+	beacon.CFPDurationSlots = uint16(cfpSlots)
+	s.slots += cfpSlots + s.cfg.CPSlots
+	return beacon
+}
+
+// RunSlot forms and runs a single transmission group from the current
+// queue without the CFP serve-once-per-client constraint, for
+// infinite-demand experiments (paper Section 10.3: each client always has
+// pending traffic, and the concurrency algorithm alone decides who is
+// served). It returns the group that transmitted (nil if the queue is
+// empty). Lost packets are requeued subject to MaxRetries.
+func (s *Simulator) RunSlot() []ClientID {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	view := make([]ClientID, len(s.queue))
+	for i, qp := range s.queue {
+		view[i] = qp.client
+	}
+	group := s.picker.PickGroup(view, s.cfg.GroupSize, s.est)
+	if len(group) == 0 {
+		return nil
+	}
+	res := s.run(group)
+	if len(res.Rate) != len(group) || len(res.Lost) != len(group) {
+		panic(fmt.Sprintf("mac: SlotRunner returned %d/%d results for %d clients", len(res.Rate), len(res.Lost), len(group)))
+	}
+	s.slots++
+	for i, c := range group {
+		st := s.statFor(c)
+		st.Slots++
+		s.dequeueOne(c, res.Lost[i])
+		if res.Lost[i] {
+			st.Lost++
+		} else {
+			st.Delivered++
+			st.RateSum += res.Rate[i]
+		}
+	}
+	return group
+}
+
+// dequeueOne removes the first queued packet of the client; if lost and
+// retries remain it is re-appended at the tail ("the client ... asks for
+// a new transmission slot next time it is polled").
+func (s *Simulator) dequeueOne(c ClientID, lost bool) {
+	for i, qp := range s.queue {
+		if qp.client != c {
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		if lost && qp.retries < s.cfg.MaxRetries {
+			s.queue = append(s.queue, queuedPacket{client: c, retries: qp.retries + 1})
+		}
+		return
+	}
+}
+
+func (s *Simulator) statFor(c ClientID) *ClientStats {
+	st, ok := s.stats[c]
+	if !ok {
+		st = &ClientStats{}
+		s.stats[c] = st
+	}
+	return st
+}

@@ -1,0 +1,244 @@
+package mac
+
+import (
+	"math/rand"
+)
+
+// RateEstimator predicts the sum rate of a candidate transmission group
+// without transmitting, the paper's sum log(1 + ||v^T H w||^2) estimate
+// (Section 7.2). The testbed wires this to the alignment solver; MAC unit
+// tests use synthetic functions.
+type RateEstimator func(group []ClientID) float64
+
+// GroupPicker selects which queued clients transmit concurrently.
+//
+// PickGroup receives the queue as client ids in FIFO arrival order
+// (duplicates possible when a client has several queued packets) and the
+// target group size; it returns the chosen group, always including the
+// head-of-queue client first ("to prevent starvation and reduce delay").
+type GroupPicker interface {
+	Name() string
+	PickGroup(queue []ClientID, size int, est RateEstimator) []ClientID
+}
+
+// distinctAfterHead returns the distinct clients in queue order with the
+// head client first, for pickers that must not group a client with
+// itself (a client contributes one packet per group).
+func distinctAfterHead(queue []ClientID) []ClientID {
+	seen := map[ClientID]bool{}
+	var out []ClientID
+	for _, c := range queue {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FIFOPicker combines packets "according to their arrivals in the FIFO
+// queue": simple and fair, but oblivious to channel quality.
+type FIFOPicker struct{}
+
+// Name implements GroupPicker.
+func (FIFOPicker) Name() string { return "fifo" }
+
+// PickGroup implements GroupPicker.
+func (FIFOPicker) PickGroup(queue []ClientID, size int, est RateEstimator) []ClientID {
+	distinct := distinctAfterHead(queue)
+	if len(distinct) == 0 {
+		return nil
+	}
+	if size > len(distinct) {
+		size = len(distinct)
+	}
+	return append([]ClientID(nil), distinct[:size]...)
+}
+
+// BruteForcePicker tries every combination of queued clients (with the
+// head pinned) and keeps the rate-maximizing one. Throughput-optimal but
+// combinatorial and unfair: clients with poor channels starve.
+type BruteForcePicker struct{}
+
+// Name implements GroupPicker.
+func (BruteForcePicker) Name() string { return "brute-force" }
+
+// PickGroup implements GroupPicker.
+func (BruteForcePicker) PickGroup(queue []ClientID, size int, est RateEstimator) []ClientID {
+	distinct := distinctAfterHead(queue)
+	if len(distinct) == 0 {
+		return nil
+	}
+	if size > len(distinct) {
+		size = len(distinct)
+	}
+	head, rest := distinct[0], distinct[1:]
+	best := append([]ClientID(nil), distinct[:size]...)
+	bestRate := est(best)
+	// Enumerate subsets of `rest` of size-1 via combination indices.
+	k := size - 1
+	if k <= 0 {
+		return []ClientID{head}
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		group := make([]ClientID, 0, size)
+		group = append(group, head)
+		for _, i := range idx {
+			group = append(group, rest[i])
+		}
+		if r := est(group); r > bestRate {
+			bestRate = r
+			best = group
+		}
+		// Next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == len(rest)-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return best
+}
+
+// BestOfTwoPicker is IAC's concurrency algorithm (Section 7.2a): the head
+// of queue is pinned; each remaining position gets two random candidates;
+// the best of the resulting candidate groups by estimated rate wins.
+// Credit counters guarantee that a client passed over often enough is
+// eventually forced into a group, bounding unfairness.
+type BestOfTwoPicker struct {
+	// CreditThreshold forces a client into the group once its counter
+	// crosses this value. The paper does not publish its constant; 8
+	// keeps forced picks rare while bounding starvation.
+	CreditThreshold int
+
+	rng     *rand.Rand
+	credits map[ClientID]int
+}
+
+// NewBestOfTwoPicker creates the picker with deterministic randomness.
+func NewBestOfTwoPicker(seed int64, creditThreshold int) *BestOfTwoPicker {
+	return &BestOfTwoPicker{
+		CreditThreshold: creditThreshold,
+		rng:             rand.New(rand.NewSource(seed)),
+		credits:         make(map[ClientID]int),
+	}
+}
+
+// Name implements GroupPicker.
+func (*BestOfTwoPicker) Name() string { return "best-of-two" }
+
+// Credits exposes a client's current credit counter (for tests and
+// fairness diagnostics).
+func (p *BestOfTwoPicker) Credits(c ClientID) int { return p.credits[c] }
+
+// PickGroup implements GroupPicker.
+func (p *BestOfTwoPicker) PickGroup(queue []ClientID, size int, est RateEstimator) []ClientID {
+	distinct := distinctAfterHead(queue)
+	if len(distinct) == 0 {
+		return nil
+	}
+	if size > len(distinct) {
+		size = len(distinct)
+	}
+	head, rest := distinct[0], distinct[1:]
+	if size == 1 || len(rest) == 0 {
+		return []ClientID{head}
+	}
+
+	// Clients whose credit crossed the threshold are forced in first.
+	forced := make([]ClientID, 0, size-1)
+	for _, c := range rest {
+		if p.credits[c] >= p.CreditThreshold && len(forced) < size-1 {
+			forced = append(forced, c)
+		}
+	}
+
+	// Two random candidates per remaining position.
+	slots := size - 1 - len(forced)
+	candidates := make([][2]ClientID, slots)
+	considered := map[ClientID]bool{}
+	for s := 0; s < slots; s++ {
+		a := rest[p.rng.Intn(len(rest))]
+		b := rest[p.rng.Intn(len(rest))]
+		candidates[s] = [2]ClientID{a, b}
+		considered[a] = true
+		considered[b] = true
+	}
+
+	// Evaluate the 2^slots combinations (4 for the paper's 3-client
+	// groups) and keep the best by estimated rate, skipping combinations
+	// with duplicate members.
+	var best []ClientID
+	bestRate := -1.0
+	for mask := 0; mask < 1<<uint(slots); mask++ {
+		group := make([]ClientID, 0, size)
+		group = append(group, head)
+		group = append(group, forced...)
+		ok := true
+		for s := 0; s < slots; s++ {
+			c := candidates[s][(mask>>uint(s))&1]
+			for _, g := range group {
+				if g == c {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			group = append(group, c)
+		}
+		if !ok {
+			continue
+		}
+		if r := est(group); r > bestRate {
+			bestRate = r
+			best = group
+		}
+	}
+	if best == nil {
+		// All combinations collided (tiny rest set): fall back to FIFO.
+		best = append([]ClientID{head}, forced...)
+		for _, c := range rest {
+			if len(best) >= size {
+				break
+			}
+			dup := false
+			for _, g := range best {
+				if g == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				best = append(best, c)
+			}
+		}
+	}
+
+	// Credit accounting: considered-but-ignored clients gain credit;
+	// picked clients reset.
+	inGroup := map[ClientID]bool{}
+	for _, c := range best {
+		inGroup[c] = true
+	}
+	for c := range considered {
+		if !inGroup[c] {
+			p.credits[c]++
+		}
+	}
+	for _, c := range best {
+		p.credits[c] = 0
+	}
+	return best
+}

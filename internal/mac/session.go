@@ -1,0 +1,105 @@
+package mac
+
+import (
+	"fmt"
+
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/core"
+)
+
+// This file wires solved IAC plans into the control frames of Section
+// 7.1: the leader AP turns a core.Plan into the DATA+Poll / Grant
+// broadcast, and clients (and subordinate APs) recover their encoding
+// and decoding vectors from the received bytes. Clients stay oblivious
+// to the number of APs and to who else transmits — they only ever see
+// their own entry.
+
+// BuildGrantFrame encodes an uplink plan as the Grant broadcast: one
+// entry per packet, carrying the owner client's id, the packet's
+// encoding vector, and the decoding vector the assigned AP will use
+// (from a plan evaluation). clientIDs maps plan transmitter index to
+// over-the-air client id.
+func BuildGrantFrame(fid uint32, plan *core.Plan, ev core.Evaluation, clientIDs []ClientID, numAPs int) (PollFrame, error) {
+	if err := plan.Validate(); err != nil {
+		return PollFrame{}, err
+	}
+	if len(ev.Decoding) != plan.NumPackets() {
+		return PollFrame{}, fmt.Errorf("mac: evaluation has %d decoding vectors for %d packets", len(ev.Decoding), plan.NumPackets())
+	}
+	f := PollFrame{Type: FrameGrant, Fid: fid, NumAPs: uint8(numAPs)}
+	for pkt, owner := range plan.Owner {
+		if owner < 0 || owner >= len(clientIDs) {
+			return PollFrame{}, fmt.Errorf("mac: packet %d owner %d has no client id", pkt, owner)
+		}
+		f.Entries = append(f.Entries, VectorEntry{
+			Client:   clientIDs[owner],
+			Encoding: plan.Encoding[pkt],
+			Decoding: ev.Decoding[pkt],
+		})
+	}
+	return f, nil
+}
+
+// BuildDataPollFrame encodes a downlink plan as the DATA+Poll metadata
+// broadcast. For downlink plans the decoding vectors belong to the
+// clients, so each entry's Client field names the packet's destination
+// (the receiver in the plan's schedule).
+func BuildDataPollFrame(fid uint32, plan *core.Plan, ev core.Evaluation, clientIDs []ClientID, numAPs int) (PollFrame, error) {
+	if err := plan.Validate(); err != nil {
+		return PollFrame{}, err
+	}
+	if len(ev.Decoding) != plan.NumPackets() {
+		return PollFrame{}, fmt.Errorf("mac: evaluation has %d decoding vectors for %d packets", len(ev.Decoding), plan.NumPackets())
+	}
+	dest := make([]int, plan.NumPackets())
+	for _, step := range plan.Schedule {
+		for _, pkt := range step.Packets {
+			dest[pkt] = step.Rx
+		}
+	}
+	f := PollFrame{Type: FrameDataPoll, Fid: fid, NumAPs: uint8(numAPs)}
+	for pkt := range plan.Owner {
+		if dest[pkt] < 0 || dest[pkt] >= len(clientIDs) {
+			return PollFrame{}, fmt.Errorf("mac: packet %d destination %d has no client id", pkt, dest[pkt])
+		}
+		f.Entries = append(f.Entries, VectorEntry{
+			Client:   clientIDs[dest[pkt]],
+			Encoding: plan.Encoding[pkt],
+			Decoding: ev.Decoding[pkt],
+		})
+	}
+	return f, nil
+}
+
+// ClientAssignment is what a client learns from a poll broadcast: the
+// vectors for each of its packets this slot, in frame order.
+type ClientAssignment struct {
+	Fid      uint32
+	NumAPs   int
+	Encoding []cmplxmat.Vector
+	Decoding []cmplxmat.Vector
+}
+
+// ExtractAssignment parses a received poll broadcast and returns the
+// entries addressed to the given client. It returns ErrBadFrame for
+// corrupted frames (the client then simply does not transmit, and "the
+// other transmissions can go as desired", Section 7.1). A client absent
+// from the frame gets an assignment with no vectors.
+func ExtractAssignment(raw []byte, me ClientID) (ClientAssignment, error) {
+	f, err := UnmarshalPollFrame(raw)
+	if err != nil {
+		return ClientAssignment{}, err
+	}
+	out := ClientAssignment{Fid: f.Fid, NumAPs: int(f.NumAPs)}
+	for _, e := range f.Entries {
+		if e.Client != me {
+			continue
+		}
+		out.Encoding = append(out.Encoding, e.Encoding)
+		out.Decoding = append(out.Decoding, e.Decoding)
+	}
+	return out, nil
+}
+
+// Participates reports whether the assignment includes any packets.
+func (a ClientAssignment) Participates() bool { return len(a.Encoding) > 0 }

@@ -1,0 +1,151 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"iaclan/internal/core"
+)
+
+func solvedUplink(t *testing.T) (*core.Plan, core.Evaluation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	cs := core.RandomChannelSet(rng, 2, 2, 2, 1000)
+	plan, err := core.SolveUplinkThree(cs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := plan.Evaluate(cs, cs, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, ev
+}
+
+func TestGrantFrameRoundTripThroughAir(t *testing.T) {
+	plan, ev := solvedUplink(t)
+	clientIDs := []ClientID{17, 42}
+	frame, err := BuildGrantFrame(7, plan, ev, clientIDs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := frame.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client 17 owns packets 0 and 1 (plan owner 0).
+	a17, err := ExtractAssignment(raw, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a17.Participates() || len(a17.Encoding) != 2 {
+		t.Fatalf("client 17 assignment: %+v", a17)
+	}
+	if a17.Fid != 7 || a17.NumAPs != 2 {
+		t.Fatalf("metadata: %+v", a17)
+	}
+	// The extracted vectors are exactly the plan's.
+	for i, v := range a17.Encoding {
+		want := plan.Encoding[i] // packets 0,1 in frame order
+		for d := range v {
+			if v[d] != want[d] {
+				t.Fatalf("client 17 vector %d mismatch", i)
+			}
+		}
+	}
+
+	// Client 42 owns one packet.
+	a42, err := ExtractAssignment(raw, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a42.Encoding) != 1 {
+		t.Fatalf("client 42 assignment: %+v", a42)
+	}
+
+	// A bystander client is not addressed but parses cleanly.
+	a99, err := ExtractAssignment(raw, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a99.Participates() {
+		t.Fatal("bystander got packets")
+	}
+}
+
+func TestExtractAssignmentRejectsCorruption(t *testing.T) {
+	plan, ev := solvedUplink(t)
+	frame, err := BuildGrantFrame(1, plan, ev, []ClientID{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := frame.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0x40
+	if _, err := ExtractAssignment(raw, 1); err == nil {
+		t.Fatal("corrupted broadcast accepted — client would transmit garbage")
+	}
+}
+
+func TestBuildDataPollFrameAddressesDestinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cs := core.RandomChannelSet(rng, 3, 3, 2, 1000)
+	plan, err := core.SolveDownlinkTriangle(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := plan.Evaluate(cs, cs, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []ClientID{5, 6, 7}
+	frame, err := BuildDataPollFrame(3, plan, ev, ids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := frame.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each client receives exactly one packet and learns its decoding
+	// vector (which it needs: downlink clients decode themselves).
+	for i, id := range ids {
+		a, err := ExtractAssignment(raw, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Decoding) != 1 {
+			t.Fatalf("client %d got %d packets", id, len(a.Decoding))
+		}
+		want := ev.Decoding[i] // packet i goes to client i in the triangle
+		for d := range want {
+			if a.Decoding[0][d] != want[d] {
+				t.Fatalf("client %d decoding vector mismatch", id)
+			}
+		}
+	}
+}
+
+func TestBuildFrameValidation(t *testing.T) {
+	plan, ev := solvedUplink(t)
+	// Too few client ids.
+	if _, err := BuildGrantFrame(1, plan, ev, []ClientID{9}, 2); err == nil {
+		t.Fatal("missing client id accepted")
+	}
+	// Mismatched evaluation.
+	if _, err := BuildGrantFrame(1, plan, core.Evaluation{}, []ClientID{1, 2}, 2); err == nil {
+		t.Fatal("empty evaluation accepted")
+	}
+	if _, err := BuildDataPollFrame(1, plan, core.Evaluation{}, []ClientID{1, 2}, 2); err == nil {
+		t.Fatal("empty evaluation accepted for data poll")
+	}
+	// Invalid plan.
+	bad := *plan
+	bad.Schedule = nil
+	if _, err := BuildGrantFrame(1, &bad, ev, []ClientID{1, 2}, 2); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

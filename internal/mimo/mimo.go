@@ -1,0 +1,166 @@
+// Package mimo implements the paper's comparison scheme: point-to-point
+// 802.11-MIMO with full channel state information at both ends, based on
+// QUALCOMM's eigenmode enforcing proposal [2] — the capacity-optimal
+// strategy for a single MIMO link (Tse & Viswanath [29]).
+//
+// The transmitter sends independent streams along the right singular
+// vectors of the channel, pours power over the eigenmodes with
+// waterfilling, and the receiver separates the streams with the left
+// singular vectors. Only one transmitter accesses the medium at a time;
+// extra APs provide diversity (best-AP selection), never multiplexing —
+// the antennas-per-AP throughput limit IAC removes.
+package mimo
+
+import (
+	"math"
+	"sort"
+
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/stats"
+)
+
+// Waterfill distributes totalPower across parallel channels with the
+// given power gains (|singular value|^2 / noise), maximizing
+// sum log2(1 + p_i * g_i). It returns the per-channel powers, which sum
+// to totalPower (channels below the water level get zero). Gains must be
+// nonnegative; channels with zero gain never receive power.
+func Waterfill(gains []float64, totalPower float64) []float64 {
+	powers := make([]float64, len(gains))
+	if totalPower <= 0 {
+		return powers
+	}
+	// Sort candidate channels by descending gain, then find the largest
+	// active set whose water level keeps every member positive.
+	type ch struct {
+		idx  int
+		gain float64
+	}
+	var act []ch
+	for i, g := range gains {
+		if g > 0 {
+			act = append(act, ch{i, g})
+		}
+	}
+	if len(act) == 0 {
+		return powers
+	}
+	sort.Slice(act, func(i, j int) bool { return act[i].gain > act[j].gain })
+	for n := len(act); n > 0; n-- {
+		// Water level mu solves sum_{i<n} (mu - 1/g_i) = totalPower.
+		var invSum float64
+		for i := 0; i < n; i++ {
+			invSum += 1 / act[i].gain
+		}
+		mu := (totalPower + invSum) / float64(n)
+		if p := mu - 1/act[n-1].gain; p > 0 {
+			for i := 0; i < n; i++ {
+				powers[act[i].idx] = mu - 1/act[i].gain
+			}
+			break
+		}
+	}
+	return powers
+}
+
+// Precoding holds a complete eigenmode transmission plan for one link.
+type Precoding struct {
+	// TxVectors are the unit-norm per-stream transmit vectors (right
+	// singular vectors of the channel).
+	TxVectors []cmplxmat.Vector
+	// RxVectors are the matching receive projections (left singular
+	// vectors).
+	RxVectors []cmplxmat.Vector
+	// Powers is the waterfilled power per stream; zero-power streams are
+	// retained so indices line up with the singular values.
+	Powers []float64
+	// Gains is |sigma_i|^2/noise per stream.
+	Gains []float64
+}
+
+// NumActiveStreams returns how many streams carry positive power.
+func (p Precoding) NumActiveStreams() int {
+	n := 0
+	for _, pw := range p.Powers {
+		if pw > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Rate returns the link's achievable sum rate in bit/s/Hz.
+func (p Precoding) Rate() float64 {
+	var r float64
+	for i, pw := range p.Powers {
+		r += stats.ShannonRate(pw * p.Gains[i])
+	}
+	return r
+}
+
+// Eigenmode computes the optimal point-to-point precoding for the channel
+// h under a total transmit power budget and the given receiver noise.
+func Eigenmode(h *cmplxmat.Matrix, totalPower, noise float64) Precoding {
+	if noise <= 0 {
+		panic("mimo: noise must be positive")
+	}
+	u, s, v := h.SVD()
+	gains := make([]float64, len(s))
+	for i, sv := range s {
+		gains[i] = sv * sv / noise
+	}
+	powers := Waterfill(gains, totalPower)
+	p := Precoding{Powers: powers, Gains: gains}
+	for j := range s {
+		p.TxVectors = append(p.TxVectors, v.Col(j))
+		p.RxVectors = append(p.RxVectors, u.Col(j))
+	}
+	return p
+}
+
+// EigenmodeRate is a convenience wrapper returning just the rate.
+func EigenmodeRate(h *cmplxmat.Matrix, totalPower, noise float64) float64 {
+	return Eigenmode(h, totalPower, noise).Rate()
+}
+
+// EqualPowerRate returns the rate with equal power across all eigenmodes,
+// the simpler strategy 802.11n devices use without waterfilling. Always
+// at most EigenmodeRate; the gap closes at high SNR.
+func EqualPowerRate(h *cmplxmat.Matrix, totalPower, noise float64) float64 {
+	_, s, _ := h.SVD()
+	active := 0
+	for _, sv := range s {
+		if sv > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	per := totalPower / float64(active)
+	var r float64
+	for _, sv := range s {
+		if sv > 0 {
+			r += stats.ShannonRate(per * sv * sv / noise)
+		}
+	}
+	return r
+}
+
+// BestAP picks the AP index with the highest eigenmode rate among the
+// candidate channels, modeling the diversity use of extra APs the paper
+// grants 802.11-MIMO in every comparison (Section 10e): "each
+// 802.11-MIMO client communicates with the AP to which it has the best
+// SNR". It returns the winning index and its rate. channels must be
+// non-empty.
+func BestAP(channels []*cmplxmat.Matrix, totalPower, noise float64) (int, float64) {
+	if len(channels) == 0 {
+		panic("mimo: BestAP with no channels")
+	}
+	bestIdx, bestRate := 0, math.Inf(-1)
+	for i, h := range channels {
+		if r := EigenmodeRate(h, totalPower, noise); r > bestRate {
+			bestIdx, bestRate = i, r
+		}
+	}
+	return bestIdx, bestRate
+}

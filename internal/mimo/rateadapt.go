@@ -1,0 +1,84 @@
+package mimo
+
+import (
+	"iaclan/internal/sig"
+	"iaclan/internal/stats"
+)
+
+// This file adds the rate adaptation the paper's GNU-Radio platform
+// lacked (Section 10f): real 802.11 hardware exploits higher SNR by
+// switching to denser modulation and coding. The paper therefore
+// compares schemes by the Shannon rate log2(1+SNR); this module maps the
+// same per-packet SNRs onto a discrete 802.11-style MCS ladder, giving
+// the throughput an actual product would see and letting experiments
+// check that IAC's SNR advantage survives quantization to real rates.
+
+// MCS is one rung of the rate ladder: a constellation and a coding rate.
+type MCS struct {
+	Mod        sig.Modulation
+	CodingRate float64 // e.g. 0.5 or 0.75
+	// MinSNRdB is the SNR needed for a near-zero post-FEC error rate.
+	MinSNRdB float64
+}
+
+// BitsPerSymbol returns the information bits one symbol carries.
+func (m MCS) BitsPerSymbol() float64 {
+	return float64(m.Mod.BitsPerSymbol()) * m.CodingRate
+}
+
+// Ladder80211 is an 802.11a/g-style MCS ladder (rates normalized to
+// bits/symbol/stream; thresholds follow the standard's sensitivity
+// spacing).
+func Ladder80211() []MCS {
+	return []MCS{
+		{Mod: sig.BPSK, CodingRate: 0.5, MinSNRdB: 4},
+		{Mod: sig.BPSK, CodingRate: 0.75, MinSNRdB: 6},
+		{Mod: sig.QPSK, CodingRate: 0.5, MinSNRdB: 8},
+		{Mod: sig.QPSK, CodingRate: 0.75, MinSNRdB: 11},
+		{Mod: sig.QAM16, CodingRate: 0.5, MinSNRdB: 15},
+		{Mod: sig.QAM16, CodingRate: 0.75, MinSNRdB: 18},
+		{Mod: sig.QAM64, CodingRate: 2.0 / 3.0, MinSNRdB: 22},
+		{Mod: sig.QAM64, CodingRate: 0.75, MinSNRdB: 24},
+	}
+}
+
+// PickMCS returns the fastest rung of the ladder the SNR supports, and
+// false if even the lowest rung is out of reach (the packet would not
+// decode at all).
+func PickMCS(ladder []MCS, snrDB float64) (MCS, bool) {
+	best := MCS{}
+	ok := false
+	for _, m := range ladder {
+		if snrDB >= m.MinSNRdB && (!ok || m.BitsPerSymbol() > best.BitsPerSymbol()) {
+			best = m
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// AdaptedThroughput maps a set of per-packet linear SINRs onto ladder
+// throughput: the sum of chosen bits/symbol over all packets, the
+// discrete analogue of the paper's sum log2(1+SNR) metric. Packets whose
+// SINR misses the lowest rung contribute zero.
+func AdaptedThroughput(ladder []MCS, sinrs []float64) float64 {
+	var total float64
+	for _, s := range sinrs {
+		if m, ok := PickMCS(ladder, stats.DB(s)); ok {
+			total += m.BitsPerSymbol()
+		}
+	}
+	return total
+}
+
+// ShannonThroughput is the paper's continuous metric over the same
+// SINRs, for comparing against AdaptedThroughput. The ladder throughput
+// is always below it (coding/modulation quantization), and the two move
+// together: an SNR advantage translates into real rate.
+func ShannonThroughput(sinrs []float64) float64 {
+	var total float64
+	for _, s := range sinrs {
+		total += stats.ShannonRate(s)
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+package mimo
+
+import (
+	"math/rand"
+	"testing"
+
+	"iaclan/internal/core"
+	"iaclan/internal/sig"
+	"iaclan/internal/stats"
+)
+
+func TestLadderMonotone(t *testing.T) {
+	ladder := Ladder80211()
+	if len(ladder) < 4 {
+		t.Fatalf("ladder size %d", len(ladder))
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].MinSNRdB <= ladder[i-1].MinSNRdB {
+			t.Fatalf("thresholds not increasing at rung %d", i)
+		}
+		if ladder[i].BitsPerSymbol() <= ladder[i-1].BitsPerSymbol() {
+			t.Fatalf("rates not increasing at rung %d", i)
+		}
+	}
+}
+
+func TestPickMCS(t *testing.T) {
+	ladder := Ladder80211()
+	// Below the lowest rung: nothing decodes.
+	if _, ok := PickMCS(ladder, 1); ok {
+		t.Fatal("1 dB should decode nothing")
+	}
+	// Mid ladder: QPSK territory.
+	m, ok := PickMCS(ladder, 12)
+	if !ok || m.Mod != sig.QPSK {
+		t.Fatalf("12 dB picked %+v", m)
+	}
+	// High SNR: the top rung.
+	m, ok = PickMCS(ladder, 40)
+	if !ok || m.Mod != sig.QAM64 || m.CodingRate != 0.75 {
+		t.Fatalf("40 dB picked %+v", m)
+	}
+	// Empty ladder.
+	if _, ok := PickMCS(nil, 40); ok {
+		t.Fatal("empty ladder picked something")
+	}
+}
+
+func TestAdaptedThroughputBelowShannon(t *testing.T) {
+	sinrs := []float64{10, 100, 1000}
+	adapted := AdaptedThroughput(Ladder80211(), sinrs)
+	shannon := ShannonThroughput(sinrs)
+	if adapted <= 0 {
+		t.Fatal("no throughput")
+	}
+	if adapted >= shannon {
+		t.Fatalf("ladder throughput %v above Shannon %v", adapted, shannon)
+	}
+	// Dead packets contribute zero.
+	if AdaptedThroughput(Ladder80211(), []float64{0.1}) != 0 {
+		t.Fatal("sub-threshold packet earned throughput")
+	}
+}
+
+func TestIACGainSurvivesRateAdaptation(t *testing.T) {
+	// The paper's metric is continuous; check the conclusion also holds
+	// on a discrete MCS ladder: IAC's three quantized packet rates beat
+	// the baseline's two, on average over channel draws.
+	rng := rand.New(rand.NewSource(1))
+	ladder := Ladder80211()
+	var iacSum, baseSum float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		cs := core.RandomChannelSet(rng, 2, 2, 2, 100) // 20 dB
+		plan, err := core.SolveUplinkThree(cs, rng)
+		if err != nil {
+			continue
+		}
+		ev, err := plan.Evaluate(cs, cs, 1, 0.01)
+		if err != nil {
+			continue
+		}
+		iacSum += AdaptedThroughput(ladder, ev.SINR)
+		// Baseline: each client alone with eigenmode streams; average
+		// of the two clients' adapted throughputs.
+		for c := 0; c < 2; c++ {
+			p := Eigenmode(cs[c][0], 1, 0.01)
+			var sinrs []float64
+			for j, pw := range p.Powers {
+				if pw > 0 {
+					sinrs = append(sinrs, pw*p.Gains[j])
+				}
+			}
+			baseSum += AdaptedThroughput(ladder, sinrs) / 2
+		}
+	}
+	if iacSum <= baseSum {
+		t.Fatalf("IAC ladder throughput %v did not beat baseline %v", iacSum, baseSum)
+	}
+	// And the gain magnitude is in the multiplexing range, not an artifact.
+	gain := iacSum / baseSum
+	if gain < 1.05 || gain > 2.5 {
+		t.Fatalf("ladder gain %v outside plausible range", gain)
+	}
+}
+
+func TestAdaptedTracksShannonOrdering(t *testing.T) {
+	// Across random SINR sets, if Shannon says A > B by a clear margin,
+	// the ladder should rarely disagree — sample and check correlation
+	// in sign.
+	rng := rand.New(rand.NewSource(2))
+	ladder := Ladder80211()
+	agree, total := 0, 0
+	for i := 0; i < 200; i++ {
+		a := []float64{stats.FromDB(rng.Float64() * 30), stats.FromDB(rng.Float64() * 30)}
+		b := []float64{stats.FromDB(rng.Float64() * 30), stats.FromDB(rng.Float64() * 30)}
+		sa, sb := ShannonThroughput(a), ShannonThroughput(b)
+		if sa == sb {
+			continue
+		}
+		// Only count clear margins (>20%).
+		if sa < sb*1.2 && sb < sa*1.2 {
+			continue
+		}
+		total++
+		aa, ab := AdaptedThroughput(ladder, a), AdaptedThroughput(ladder, b)
+		if (sa > sb) == (aa >= ab) {
+			agree++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("too few clear-margin samples: %d", total)
+	}
+	if float64(agree)/float64(total) < 0.85 {
+		t.Fatalf("ladder disagreed with Shannon ordering too often: %d/%d", agree, total)
+	}
+}

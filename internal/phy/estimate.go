@@ -1,0 +1,128 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+
+	"iaclan/internal/channel"
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/radio"
+	"iaclan/internal/sig"
+)
+
+// TrainingBurst builds the standard MIMO training transmission the paper
+// relies on for channel estimation (Section 8a): the node's antennas take
+// turns sending `rep` repetitions of the known preamble while the other
+// antennas stay silent, so a receiver can least-squares estimate each
+// column of the channel matrix independently. Association messages and
+// acks play this role in the paper; both are sent without concurrent
+// transmissions.
+func TrainingBurst(node *channel.Node, rep int, start int) radio.Burst {
+	pre := sig.Preamble()
+	segLen := len(pre) * rep
+	total := segLen * node.Antennas
+	samples := make([][]complex128, node.Antennas)
+	for a := range samples {
+		samples[a] = make([]complex128, total)
+		for r := 0; r < rep; r++ {
+			copy(samples[a][a*segLen+r*len(pre):], pre)
+		}
+	}
+	return radio.Burst{From: node, Start: start, Samples: samples}
+}
+
+// LinkEstimate is a receiver's knowledge of one transmitter: the channel
+// matrix and the carrier frequency offset.
+type LinkEstimate struct {
+	H   *cmplxmat.Matrix
+	CFO float64
+}
+
+// EstimateLink transmits a training burst from tx through the medium and
+// estimates the channel matrix and CFO at rx. rep controls estimation
+// quality (noise averages down as 1/sqrt(rep)).
+//
+// The estimator first measures the CFO from the phase drift across the
+// repeated preambles, derotates, then least-squares fits each channel
+// column: h_col_a = sum_t y[t] conj(p[t]) / sum_t |p[t]|^2 over antenna
+// a's training segment.
+func EstimateLink(m *radio.Medium, tx, rx *channel.Node, rep int) LinkEstimate {
+	if rep < 1 {
+		panic("phy: rep must be >= 1")
+	}
+	burst := TrainingBurst(tx, rep, 0)
+	dur := burst.Len()
+	y := m.Receive(rx, dur, []radio.Burst{burst})
+
+	pre := sig.Preamble()
+	segLen := len(pre) * rep
+
+	// CFO: delay-and-correlate on antenna 0's strongest receive antenna,
+	// using the repetition structure — identical transmitted blocks
+	// separated by len(pre) samples differ only by the CFO rotation.
+	cfo := estimateCFOFromRepetition(y, 0, segLen, len(pre), m.SampleRate)
+
+	h := cmplxmat.New(rx.Antennas, tx.Antennas)
+	for a := 0; a < tx.Antennas; a++ {
+		off := a * segLen
+		for r := 0; r < rx.Antennas; r++ {
+			var num complex128
+			var den float64
+			for t := 0; t < segLen; t++ {
+				p := pre[t%len(pre)]
+				// Derotate the received sample by the estimated CFO before
+				// fitting, so the estimate is the channel at phase zero.
+				rot := cmplx.Exp(complex(0, -2*math.Pi*cfo*float64(off+t)/m.SampleRate))
+				num += y[r][off+t] * rot * cmplx.Conj(p)
+				den += real(p)*real(p) + imag(p)*imag(p)
+			}
+			h.SetAt(r, a, num/complex(den, 0))
+		}
+	}
+	return LinkEstimate{H: h, CFO: cfo}
+}
+
+// estimateCFOFromRepetition measures CFO from block repetition: within
+// antenna ant's segment, sample t and t+blockLen carry the same symbol,
+// so their cross product isolates the rotation accumulated over blockLen
+// samples.
+func estimateCFOFromRepetition(y [][]complex128, ant, segLen, blockLen int, sampleRate float64) float64 {
+	if segLen <= blockLen {
+		return 0 // single block: no repetition to compare
+	}
+	var acc complex128
+	for r := range y {
+		for t := ant * segLen; t+blockLen < ant*segLen+segLen; t++ {
+			acc += y[r][t+blockLen] * cmplx.Conj(y[r][t])
+		}
+	}
+	return cmplx.Phase(acc) * sampleRate / (2 * math.Pi * float64(blockLen))
+}
+
+// EstimateAllLinks estimates every (tx, rx) pair with tx in txs and rx in
+// rxs, returning estimates indexed [txIdx][rxIdx]. Each transmitter
+// trains in its own time slot (no concurrency), as association and ack
+// packets do in the paper's MAC.
+func EstimateAllLinks(m *radio.Medium, txs, rxs []*channel.Node, rep int) [][]LinkEstimate {
+	out := make([][]LinkEstimate, len(txs))
+	for i, tx := range txs {
+		out[i] = make([]LinkEstimate, len(rxs))
+		for j, rx := range rxs {
+			out[i][j] = EstimateLink(m, tx, rx, rep)
+		}
+	}
+	return out
+}
+
+// ChannelSetFromEstimates extracts the channel matrices into the core
+// package's ChannelSet layout.
+func ChannelSetFromEstimates(est [][]LinkEstimate) [][]*cmplxmat.Matrix {
+	out := make([][]*cmplxmat.Matrix, len(est))
+	for i := range est {
+		out[i] = make([]*cmplxmat.Matrix, len(est[i]))
+		for j := range est[i] {
+			out[i][j] = est[i][j].H
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package radio simulates the multi-antenna wireless medium at the
+// complex-baseband sample level, replacing the paper's USRP front ends.
+//
+// Transmitters contribute Bursts — per-antenna sample streams starting at
+// some (unsynchronized) sample offset. A receiver observes, on each of
+// its antennas, the superposition of every burst passed through the
+// world's channel matrix for that transmitter-receiver pair, rotated by
+// the pair's carrier frequency offset, plus thermal noise:
+//
+//	y_r[t] = sum_b  e^{j 2 pi cfo_b t / fs} * (H_b x_b[t - start_b])_r + n_r[t]
+//
+// The CFO rotation multiplies the whole spatial vector by one unit-
+// magnitude scalar, which is why alignment survives frequency offsets
+// (paper Section 6a) — a property the tests verify at the sample level.
+package radio
+
+import (
+	"math"
+	"math/rand"
+
+	"iaclan/internal/channel"
+)
+
+// Burst is one node's transmission: Samples[a][t] is the sample stream of
+// antenna a. All antennas of a burst share the start offset and length.
+type Burst struct {
+	From  *channel.Node
+	Start int
+	// Samples is indexed [antenna][sample]; every row must have the same
+	// length and the row count must equal the node's antenna count.
+	Samples [][]complex128
+}
+
+// Len returns the burst length in samples (0 for an empty burst).
+func (b Burst) Len() int {
+	if len(b.Samples) == 0 {
+		return 0
+	}
+	return len(b.Samples[0])
+}
+
+// Medium binds a channel.World to sample-level parameters.
+type Medium struct {
+	World *channel.World
+	// SampleRate in Hz; CFOs are expressed relative to it.
+	SampleRate float64
+	// NoisePower is the per-antenna thermal noise power at every receiver.
+	NoisePower float64
+
+	rng *rand.Rand
+}
+
+// NewMedium creates a medium with deterministic noise.
+func NewMedium(w *channel.World, sampleRate, noisePower float64, seed int64) *Medium {
+	if sampleRate <= 0 {
+		panic("radio: sample rate must be positive")
+	}
+	if noisePower < 0 {
+		panic("radio: noise power must be nonnegative")
+	}
+	return &Medium{World: w, SampleRate: sampleRate, NoisePower: noisePower, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Receive returns what rx observes over a window of dur samples while the
+// given bursts are on the air. The result is indexed [antenna][sample].
+// Bursts from rx itself are ignored (a radio cannot hear itself while
+// transmitting).
+func (m *Medium) Receive(rx *channel.Node, dur int, bursts []Burst) [][]complex128 {
+	mAnt := rx.Antennas
+	out := make([][]complex128, mAnt)
+	for a := range out {
+		out[a] = make([]complex128, dur)
+	}
+	for _, b := range bursts {
+		if b.From.ID == rx.ID || b.Len() == 0 {
+			continue
+		}
+		if len(b.Samples) != b.From.Antennas {
+			panic("radio: burst antenna count mismatch")
+		}
+		h := m.World.Channel(b.From, rx)
+		cfo := m.World.CFO(b.From, rx)
+		w := 2 * math.Pi * cfo / m.SampleRate
+		for t := 0; t < b.Len(); t++ {
+			rt := b.Start + t
+			if rt < 0 || rt >= dur {
+				continue
+			}
+			rot := complex(math.Cos(w*float64(rt)), math.Sin(w*float64(rt)))
+			for r := 0; r < mAnt; r++ {
+				var acc complex128
+				for c := 0; c < b.From.Antennas; c++ {
+					acc += h.At(r, c) * b.Samples[c][t]
+				}
+				out[r][rt] += acc * rot
+			}
+		}
+	}
+	if m.NoisePower > 0 {
+		sigma := math.Sqrt(m.NoisePower / 2)
+		for a := range out {
+			for t := range out[a] {
+				out[a][t] += complex(m.rng.NormFloat64()*sigma, m.rng.NormFloat64()*sigma)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package radio
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"iaclan/internal/channel"
+	"iaclan/internal/cmplxmat"
+)
+
+func quietWorld() *channel.World {
+	p := channel.DefaultParams()
+	p.CFOStdHz = 0
+	p.HardwareSpreadDB = 0
+	p.ShadowSigmaDB = 0
+	return channel.NewWorld(p, 1)
+}
+
+func TestReceiveAppliesChannelMatrix(t *testing.T) {
+	w := quietWorld()
+	tx := w.AddNode(0, 0)
+	rx := w.AddNode(3, 0)
+	m := NewMedium(w, 1e6, 0, 1)
+	// Transmit a single unit sample on antenna 0.
+	burst := Burst{From: tx, Start: 0, Samples: [][]complex128{{1}, {0}}}
+	y := m.Receive(rx, 1, []Burst{burst})
+	h := w.Channel(tx, rx)
+	for r := 0; r < 2; r++ {
+		if cmplx.Abs(y[r][0]-h.At(r, 0)) > 1e-12 {
+			t.Fatalf("antenna %d: got %v want %v", r, y[r][0], h.At(r, 0))
+		}
+	}
+}
+
+func TestReceiveSuperimposesBursts(t *testing.T) {
+	w := quietWorld()
+	tx1 := w.AddNode(0, 0)
+	tx2 := w.AddNode(0, 6)
+	rx := w.AddNode(3, 3)
+	m := NewMedium(w, 1e6, 0, 1)
+	b1 := Burst{From: tx1, Samples: [][]complex128{{1}, {0}}}
+	b2 := Burst{From: tx2, Samples: [][]complex128{{0}, {1}}}
+	y12 := m.Receive(rx, 1, []Burst{b1, b2})
+	y1 := m.Receive(rx, 1, []Burst{b1})
+	y2 := m.Receive(rx, 1, []Burst{b2})
+	for r := 0; r < 2; r++ {
+		if cmplx.Abs(y12[r][0]-(y1[r][0]+y2[r][0])) > 1e-12 {
+			t.Fatalf("superposition violated on antenna %d", r)
+		}
+	}
+}
+
+func TestReceiveRespectsStartOffsetAndWindow(t *testing.T) {
+	w := quietWorld()
+	tx := w.AddNode(0, 0)
+	rx := w.AddNode(3, 0)
+	m := NewMedium(w, 1e6, 0, 1)
+	b := Burst{From: tx, Start: 5, Samples: [][]complex128{{1, 1}, {0, 0}}}
+	y := m.Receive(rx, 10, []Burst{b})
+	for tt := 0; tt < 5; tt++ {
+		if y[0][tt] != 0 {
+			t.Fatalf("energy before start at t=%d", tt)
+		}
+	}
+	if y[0][5] == 0 || y[0][6] == 0 {
+		t.Fatal("burst missing at its start offset")
+	}
+	// Bursts beyond the window are clipped without panicking.
+	late := Burst{From: tx, Start: 9, Samples: [][]complex128{{1, 1, 1}, {0, 0, 0}}}
+	y = m.Receive(rx, 10, []Burst{late})
+	if y[0][9] == 0 {
+		t.Fatal("clipped burst lost its in-window part")
+	}
+	// Negative start clips the head.
+	early := Burst{From: tx, Start: -1, Samples: [][]complex128{{1, 1}, {0, 0}}}
+	y = m.Receive(rx, 10, []Burst{early})
+	if y[0][0] == 0 {
+		t.Fatal("negative-start burst lost its in-window part")
+	}
+}
+
+func TestReceiveIgnoresSelf(t *testing.T) {
+	w := quietWorld()
+	n := w.AddNode(0, 0)
+	other := w.AddNode(3, 0)
+	_ = other
+	m := NewMedium(w, 1e6, 0, 1)
+	b := Burst{From: n, Samples: [][]complex128{{1}, {1}}}
+	y := m.Receive(n, 1, []Burst{b})
+	if y[0][0] != 0 || y[1][0] != 0 {
+		t.Fatal("node heard itself")
+	}
+}
+
+func TestReceiveAppliesCFOScalarRotation(t *testing.T) {
+	// The CFO must rotate the whole spatial vector by a common scalar:
+	// the ratio y(t)/y(0) per antenna is the same unit-magnitude complex
+	// number for all antennas (Section 6a's spatial-domain argument).
+	p := channel.DefaultParams()
+	p.CFOStdHz = 500
+	p.ShadowSigmaDB = 0
+	w := channel.NewWorld(p, 3)
+	tx := w.AddNode(0, 0)
+	rx := w.AddNode(3, 0)
+	m := NewMedium(w, 1e6, 0, 1)
+	n := 100
+	ones := make([]complex128, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := Burst{From: tx, Samples: [][]complex128{ones, ones}}
+	y := m.Receive(rx, n, []Burst{b})
+	cfo := w.CFO(tx, rx)
+	wantStep := cmplx.Exp(complex(0, 2*math.Pi*cfo/1e6))
+	for r := 0; r < 2; r++ {
+		for tt := 1; tt < n; tt++ {
+			ratio := y[r][tt] / y[r][tt-1]
+			if cmplx.Abs(ratio-wantStep) > 1e-9 {
+				t.Fatalf("antenna %d t=%d: rotation step %v want %v", r, tt, ratio, wantStep)
+			}
+		}
+	}
+	// Both antennas rotate in lockstep.
+	for tt := 0; tt < n; tt++ {
+		r0 := y[0][tt] / y[0][0]
+		r1 := y[1][tt] / y[1][0]
+		if cmplx.Abs(r0-r1) > 1e-9 {
+			t.Fatalf("t=%d: antennas rotated differently", tt)
+		}
+	}
+}
+
+func TestReceiveNoisePower(t *testing.T) {
+	w := quietWorld()
+	w.AddNode(0, 0)
+	rx := w.AddNode(3, 0)
+	m := NewMedium(w, 1e6, 0.5, 2)
+	y := m.Receive(rx, 20000, nil)
+	var p float64
+	for _, s := range y[0] {
+		p += real(s)*real(s) + imag(s)*imag(s)
+	}
+	p /= float64(len(y[0]))
+	if p < 0.45 || p > 0.55 {
+		t.Fatalf("noise power %v want ~0.5", p)
+	}
+}
+
+func TestMediumValidation(t *testing.T) {
+	w := quietWorld()
+	tx := w.AddNode(0, 0)
+	rx := w.AddNode(3, 0)
+	for _, f := range []func(){
+		func() { NewMedium(w, 0, 0.1, 1) },
+		func() { NewMedium(w, 1e6, -1, 1) },
+		func() {
+			m := NewMedium(w, 1e6, 0, 1)
+			// Wrong antenna count in burst.
+			m.Receive(rx, 1, []Burst{{From: tx, Samples: [][]complex128{{1}}}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBurstLen(t *testing.T) {
+	if (Burst{}).Len() != 0 {
+		t.Fatal("empty burst length")
+	}
+	b := Burst{Samples: [][]complex128{make([]complex128, 7), make([]complex128, 7)}}
+	if b.Len() != 7 {
+		t.Fatalf("burst length %d", b.Len())
+	}
+}
+
+var _ = cmplxmat.Vector{}

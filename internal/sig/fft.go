@@ -1,0 +1,145 @@
+package sig
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// This file provides the discrete Fourier transform machinery behind the
+// OFDM extension (paper Section 6c's conjecture: in channels that are
+// not quite flat, alignment can run separately in each OFDM subcarrier).
+// The transform is an iterative radix-2 Cooley-Tukey FFT written from
+// scratch — the repository uses the standard library only.
+
+// FFT returns the discrete Fourier transform of x. The length must be a
+// power of two. The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return fftDir(x, false)
+}
+
+// IFFT returns the inverse DFT of x (normalized by 1/N). The length must
+// be a power of two.
+func IFFT(x []complex128) []complex128 {
+	out := fftDir(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+func fftDir(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("sig: FFT length %d is not a power of two", n))
+	}
+	out := make([]complex128, n)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range x {
+		out[bits.Reverse64(uint64(i))>>shift] = x[i]
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return out
+}
+
+// OFDMParams configures the OFDM modem.
+type OFDMParams struct {
+	// NumSubcarriers is the FFT size (power of two). 64 matches 802.11a/g/n.
+	NumSubcarriers int
+	// CyclicPrefix is the guard length in samples; it must cover the
+	// channel's delay spread for subcarriers to stay orthogonal.
+	CyclicPrefix int
+}
+
+// DefaultOFDM matches 802.11's 64-subcarrier, 16-sample-CP layout.
+func DefaultOFDM() OFDMParams {
+	return OFDMParams{NumSubcarriers: 64, CyclicPrefix: 16}
+}
+
+// SymbolLen returns the time-domain length of one OFDM symbol.
+func (p OFDMParams) SymbolLen() int { return p.NumSubcarriers + p.CyclicPrefix }
+
+func (p OFDMParams) validate() {
+	n := p.NumSubcarriers
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("sig: NumSubcarriers %d is not a power of two", n))
+	}
+	if p.CyclicPrefix < 0 {
+		panic("sig: negative cyclic prefix")
+	}
+}
+
+// OFDMModulate maps frequency-domain symbols (one complex value per
+// subcarrier per OFDM symbol, row-major: sym*N + subcarrier) onto a
+// time-domain sample stream with cyclic prefixes. len(freqSymbols) must
+// be a multiple of NumSubcarriers.
+func OFDMModulate(p OFDMParams, freqSymbols []complex128) []complex128 {
+	p.validate()
+	n := p.NumSubcarriers
+	if len(freqSymbols)%n != 0 {
+		panic(fmt.Sprintf("sig: %d symbols is not a multiple of %d subcarriers", len(freqSymbols), n))
+	}
+	numSyms := len(freqSymbols) / n
+	out := make([]complex128, 0, numSyms*p.SymbolLen())
+	for s := 0; s < numSyms; s++ {
+		td := IFFT(freqSymbols[s*n : (s+1)*n])
+		// Cyclic prefix: the tail of the symbol, prepended.
+		out = append(out, td[n-p.CyclicPrefix:]...)
+		out = append(out, td...)
+	}
+	return out
+}
+
+// OFDMDemodulate inverts OFDMModulate: it strips cyclic prefixes and
+// FFTs each symbol back to the frequency domain. len(samples) must be a
+// multiple of SymbolLen.
+func OFDMDemodulate(p OFDMParams, samples []complex128) []complex128 {
+	p.validate()
+	sl := p.SymbolLen()
+	if len(samples)%sl != 0 {
+		panic(fmt.Sprintf("sig: %d samples is not a multiple of symbol length %d", len(samples), sl))
+	}
+	numSyms := len(samples) / sl
+	n := p.NumSubcarriers
+	out := make([]complex128, 0, numSyms*n)
+	for s := 0; s < numSyms; s++ {
+		body := samples[s*sl+p.CyclicPrefix : (s+1)*sl]
+		out = append(out, FFT(body)...)
+	}
+	return out
+}
+
+// SubcarrierChannel converts a time-domain FIR channel tap vector into
+// its per-subcarrier complex gains: the DFT of the (zero-padded) impulse
+// response. This is the frequency response OFDM equalization and
+// per-subcarrier alignment operate on.
+func SubcarrierChannel(p OFDMParams, taps []complex128) []complex128 {
+	p.validate()
+	if len(taps) > p.NumSubcarriers {
+		panic("sig: more taps than subcarriers")
+	}
+	padded := make([]complex128, p.NumSubcarriers)
+	copy(padded, taps)
+	return FFT(padded)
+}

@@ -1,0 +1,229 @@
+package sig
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of [1,0,0,0] is all ones.
+	out := FFT([]complex128{1, 0, 0, 0})
+	for i, v := range out {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d: %v", i, v)
+		}
+	}
+	// DFT of a constant is an impulse at DC.
+	out = FFT([]complex128{1, 1, 1, 1})
+	if cmplx.Abs(out[0]-4) > 1e-12 {
+		t.Fatalf("DC bin %v", out[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(out[i]) > 1e-12 {
+			t.Fatalf("bin %d leaked: %v", i, out[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin 3 of 16 lands exactly in bin 3.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/float64(n)))
+	}
+	out := FFT(x)
+	for i, v := range out {
+		want := 0.0
+		if i == 3 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude %v want %v", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		back := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: %v vs %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	x := make([]complex128, n)
+	var timePow float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timePow += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	var freqPow float64
+	for _, v := range FFT(x) {
+		freqPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqPow/float64(n)-timePow) > 1e-6*timePow {
+		t.Fatalf("Parseval: %v vs %v", freqPow/float64(n), timePow)
+	}
+}
+
+func TestFFTLinearityQuick(t *testing.T) {
+	f := func(ra1, ra2, rb1, rb2, s float64) bool {
+		bound := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(v, 100)
+		}
+		a1, a2, b1, b2 := bound(ra1), bound(ra2), bound(rb1), bound(rb2)
+		x := []complex128{complex(a1, a2), complex(b1, b2), 0, 0}
+		y := []complex128{complex(b2, a1), complex(a2, b1), 1, 0}
+		scale := complex(math.Mod(bound(s), 5), 0)
+		sum := make([]complex128, 4)
+		for i := range sum {
+			sum[i] = x[i] + scale*y[i]
+		}
+		fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(fx[i]+scale*fy[i])) > 1e-6*(1+cmplx.Abs(fs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d accepted", n)
+				}
+			}()
+			FFT(make([]complex128, n))
+		}()
+	}
+}
+
+func TestOFDMModDemodRoundTrip(t *testing.T) {
+	p := DefaultOFDM()
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]complex128, p.NumSubcarriers*3)
+	for i := range syms {
+		syms[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	td := OFDMModulate(p, syms)
+	if len(td) != 3*p.SymbolLen() {
+		t.Fatalf("time length %d", len(td))
+	}
+	back := OFDMDemodulate(p, td)
+	for i := range syms {
+		if cmplx.Abs(back[i]-syms[i]) > 1e-9 {
+			t.Fatalf("symbol %d: %v vs %v", i, back[i], syms[i])
+		}
+	}
+}
+
+func TestOFDMCyclicPrefixIsTail(t *testing.T) {
+	p := OFDMParams{NumSubcarriers: 8, CyclicPrefix: 3}
+	syms := make([]complex128, 8)
+	syms[1] = 1
+	td := OFDMModulate(p, syms)
+	// The first CP samples equal the last CP samples of the symbol body.
+	for i := 0; i < p.CyclicPrefix; i++ {
+		if cmplx.Abs(td[i]-td[p.NumSubcarriers+i]) > 1e-12 {
+			t.Fatalf("CP sample %d mismatch", i)
+		}
+	}
+}
+
+func TestOFDMThroughMultipathEqualizes(t *testing.T) {
+	// The whole point of the CP: a 3-tap channel becomes one complex
+	// gain per subcarrier. Send known symbols through a scalar FIR
+	// channel, equalize per subcarrier, recover exactly.
+	p := OFDMParams{NumSubcarriers: 32, CyclicPrefix: 8}
+	rng := rand.New(rand.NewSource(4))
+	syms := make([]complex128, 32*2)
+	for i := range syms {
+		if rng.Intn(2) == 0 {
+			syms[i] = 1
+		} else {
+			syms[i] = -1
+		}
+	}
+	td := OFDMModulate(p, syms)
+	taps := []complex128{1, 0.4 - 0.2i, 0.15i}
+	rx := make([]complex128, len(td))
+	for t0 := range td {
+		for l, g := range taps {
+			if t0-l >= 0 {
+				rx[t0] += g * td[t0-l]
+			}
+		}
+	}
+	// NOTE: inter-symbol leakage from the previous symbol's tail lands
+	// inside the CP, which the demodulator discards.
+	freq := OFDMDemodulate(p, rx)
+	hk := SubcarrierChannel(p, taps)
+	for i := range freq {
+		k := i % p.NumSubcarriers
+		eq := freq[i] / hk[k]
+		if cmplx.Abs(eq-syms[i]) > 1e-6 {
+			// First symbol's head has no preceding tail, so it is exact;
+			// later symbols rely on the CP, also exact.
+			t.Fatalf("symbol %d: equalized %v want %v", i, eq, syms[i])
+		}
+	}
+}
+
+func TestSubcarrierChannelFlat(t *testing.T) {
+	p := OFDMParams{NumSubcarriers: 16, CyclicPrefix: 4}
+	hk := SubcarrierChannel(p, []complex128{2 - 1i})
+	for k, v := range hk {
+		if cmplx.Abs(v-(2-1i)) > 1e-12 {
+			t.Fatalf("flat channel bin %d: %v", k, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("too many taps accepted")
+		}
+	}()
+	SubcarrierChannel(p, make([]complex128, 17))
+}
+
+func TestOFDMValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { OFDMModulate(OFDMParams{NumSubcarriers: 3}, nil) },
+		func() { OFDMModulate(OFDMParams{NumSubcarriers: 4, CyclicPrefix: -1}, nil) },
+		func() { OFDMModulate(DefaultOFDM(), make([]complex128, 10)) },
+		func() { OFDMDemodulate(DefaultOFDM(), make([]complex128, 11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,162 @@
+package sig
+
+import (
+	"bytes"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestModulationProperties(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		if m.BitsPerSymbol() < 1 {
+			t.Fatalf("%v bits per symbol", m)
+		}
+		if m.String() == "" {
+			t.Fatalf("%v name", m)
+		}
+		if m.MinSNRdB() <= 0 {
+			t.Fatalf("%v threshold", m)
+		}
+	}
+	// Thresholds increase with density.
+	if !(BPSK.MinSNRdB() < QPSK.MinSNRdB() && QPSK.MinSNRdB() < QAM16.MinSNRdB() && QAM16.MinSNRdB() < QAM64.MinSNRdB()) {
+		t.Fatal("threshold ordering")
+	}
+	if Modulation(99).String() == "" {
+		t.Fatal("unknown modulation string")
+	}
+}
+
+func TestModulateRoundTripAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bps := m.BitsPerSymbol()
+		bits := randomBits(rng, bps*200)
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(syms) != 200 {
+			t.Fatalf("%v: %d symbols", m, len(syms))
+		}
+		back := Demodulate(m, syms)
+		if !bytes.Equal(back, bits) {
+			t.Fatalf("%v: round trip failed", m)
+		}
+	}
+}
+
+func TestModulateUnitAverageEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		bits := randomBits(rng, m.BitsPerSymbol()*5000)
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for _, s := range syms {
+			e += real(s)*real(s) + imag(s)*imag(s)
+		}
+		e /= float64(len(syms))
+		if e < 0.9 || e > 1.1 {
+			t.Fatalf("%v average energy %v", m, e)
+		}
+	}
+}
+
+func TestModulateValidation(t *testing.T) {
+	if _, err := Modulate(QPSK, []byte{1}); err == nil {
+		t.Fatal("misaligned bits accepted")
+	}
+	if _, err := Modulate(QAM16, []byte{2, 0, 0, 0}); err == nil {
+		t.Fatal("invalid bit accepted")
+	}
+}
+
+func TestGrayMappingNeighborProperty(t *testing.T) {
+	// Adjacent 16-QAM levels along one axis must differ in exactly one
+	// bit — the property that keeps noisy symbol errors to 1 bit.
+	m := QAM16
+	half := m.BitsPerSymbol() / 2
+	levels := pamLevels(half)
+	prev := axisBits(levels[0], levels, half)
+	for i := 1; i < len(levels); i++ {
+		cur := axisBits(levels[i], levels, half)
+		diff := 0
+		for b := range cur {
+			if cur[b] != prev[b] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("levels %d-%d differ in %d bits", i-1, i, diff)
+		}
+		prev = cur
+	}
+}
+
+func TestQAMErrorRateOrdering(t *testing.T) {
+	// At a fixed SNR, denser constellations suffer more bit errors.
+	rng := rand.New(rand.NewSource(3))
+	const snr = 30.0 // linear
+	var prevBER float64 = -1
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bits := randomBits(rng, m.BitsPerSymbol()*4000)
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy := AddNoise(syms, 1/snr, rng)
+		errs := BitErrors(Demodulate(m, noisy), bits)
+		ber := float64(errs) / float64(len(bits))
+		if ber < prevBER-0.005 {
+			t.Fatalf("%v BER %v below sparser constellation's %v", m, ber, prevBER)
+		}
+		prevBER = ber
+	}
+}
+
+func TestPickModulation(t *testing.T) {
+	if PickModulation(3) != BPSK {
+		t.Fatal("3 dB")
+	}
+	if PickModulation(12) != QPSK {
+		t.Fatal("12 dB")
+	}
+	if PickModulation(19) != QAM16 {
+		t.Fatal("19 dB")
+	}
+	if PickModulation(30) != QAM64 {
+		t.Fatal("30 dB")
+	}
+}
+
+// TestAlignmentIsModulationAgnostic verifies paper Section 6(b): the
+// spatial alignment nulls interference sample by sample regardless of
+// which constellation the samples carry. Two interferers along the same
+// spatial direction are projected away exactly even when one sends BPSK
+// and the other 64-QAM.
+func TestAlignmentIsModulationAgnostic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dir := []complex128{complex(0.6, 0.3), complex(-0.4, 0.62)} // shared spatial direction
+	// Projection vector with w^H dir = 0: w = [-conj(dir1), conj(dir0)]
+	// gives conj(w) = [-dir1, dir0], and conj(w)·dir = 0.
+	w := []complex128{-cmplx.Conj(dir[1]), cmplx.Conj(dir[0])}
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bits := randomBits(rng, m.BitsPerSymbol()*64)
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range syms {
+			// Interference sample along dir carrying this symbol.
+			y := []complex128{dir[0] * s, dir[1] * s}
+			leak := cmplx.Conj(w[0])*y[0] + cmplx.Conj(w[1])*y[1]
+			if cmplx.Abs(leak) > 1e-12 {
+				t.Fatalf("%v symbol %d leaked %v through the projection", m, i, leak)
+			}
+		}
+	}
+}

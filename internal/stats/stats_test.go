@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func feq(t *testing.T, got, want, eps float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Fatalf("%s: got %v want %v", msg, got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	feq(t, Mean([]float64{1, 2, 3}), 2, 1e-12, "mean")
+	feq(t, Mean(nil), 0, 0, "mean empty")
+}
+
+func TestStdDev(t *testing.T) {
+	feq(t, StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935299395, 1e-9, "stddev")
+	feq(t, StdDev([]float64{5}), 0, 0, "stddev single")
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	feq(t, Min(xs), -1, 0, "min")
+	feq(t, Max(xs), 7, 0, "max")
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	feq(t, Percentile(xs, 0), 1, 1e-12, "p0")
+	feq(t, Percentile(xs, 100), 5, 1e-12, "p100")
+	feq(t, Percentile(xs, 50), 3, 1e-12, "p50")
+	feq(t, Percentile(xs, 25), 2, 1e-12, "p25")
+	feq(t, Median([]float64{1, 2}), 1.5, 1e-12, "median interp")
+	feq(t, Percentile([]float64{7}, 90), 7, 0, "single")
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+		func() { Min(nil) },
+		func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("cdf len %d", len(pts))
+	}
+	feq(t, pts[0].X, 1, 0, "sorted x")
+	feq(t, pts[0].P, 1.0/3, 1e-12, "p first")
+	feq(t, pts[2].P, 1, 1e-12, "p last")
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	feq(t, CDFAt(xs, 2.5), 0.5, 1e-12, "cdfat mid")
+	feq(t, CDFAt(xs, 0), 0, 0, "cdfat below")
+	feq(t, CDFAt(xs, 4), 1, 0, "cdfat top")
+	feq(t, CDFAt(nil, 1), 0, 0, "cdfat empty")
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.5, 0.9, 1.0, 1.5, 2.0}
+	feq(t, FractionBelow(xs, 1), 0.4, 1e-12, "below 1")
+	feq(t, FractionBelow(nil, 1), 0, 0, "empty")
+}
+
+func TestJainFairness(t *testing.T) {
+	feq(t, JainFairness([]float64{1, 1, 1, 1}), 1, 1e-12, "equal")
+	// One winner out of four: 1/n = 0.25.
+	feq(t, JainFairness([]float64{4, 0, 0, 0}), 0.25, 1e-12, "winner")
+	feq(t, JainFairness(nil), 0, 0, "empty")
+	feq(t, JainFairness([]float64{0, 0}), 0, 0, "all zero")
+}
+
+func TestDBConversions(t *testing.T) {
+	feq(t, DB(100), 20, 1e-12, "db")
+	feq(t, FromDB(20), 100, 1e-9, "fromdb")
+	feq(t, FromDB(DB(7.3)), 7.3, 1e-9, "round trip")
+}
+
+func TestShannonRate(t *testing.T) {
+	feq(t, ShannonRate(1), 1, 1e-12, "snr 1")
+	feq(t, ShannonRate(3), 2, 1e-12, "snr 3")
+	feq(t, ShannonRate(0), 0, 0, "snr 0")
+	feq(t, ShannonRate(-5), 0, 0, "snr negative")
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.6, 0.9, 1.0, -5, 7}
+	h := Histogram(xs, 2, 0, 1)
+	if h[0] != 2 || h[1] != 3 {
+		t.Fatalf("hist %v", h)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for bad params")
+			}
+		}()
+		Histogram(xs, 0, 0, 1)
+	}()
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Fatalf("n %d", s.N)
+	}
+	feq(t, s.Mean, 3, 1e-12, "mean")
+	feq(t, s.Median, 3, 1e-12, "median")
+	feq(t, s.Min, 1, 0, "min")
+	feq(t, s.Max, 5, 0, "max")
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+	if s.String() == "" {
+		t.Fatal("string empty")
+	}
+}
+
+func TestASCIICDF(t *testing.T) {
+	out := ASCIICDF([]float64{1, 2, 3, 4, 5}, 20, 5, "test")
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if ASCIICDF(nil, 20, 5, "x") != "" {
+		t.Fatal("plot of empty data should be empty")
+	}
+	// Constant data must not divide by zero.
+	if out := ASCIICDF([]float64{2, 2, 2}, 20, 5, "const"); out == "" {
+		t.Fatal("constant data plot empty")
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, pp)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pts := CDF(xs)
+		if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) &&
+			!sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X <= pts[j].X }) {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return pts[len(pts)-1].P == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Abs(x))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainFairness(xs)
+		return j >= 0 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iaclan/internal/core"
+)
+
+// SlotOutcome is one concurrent-transmission slot's result.
+type SlotOutcome struct {
+	// SumRate is the slot's total achievable rate (Eq. 9).
+	SumRate float64
+	// PerClient maps scenario client index to the rate its packets
+	// achieved this slot.
+	PerClient map[int]float64
+	// Plan is the IAC plan that produced the outcome.
+	Plan *core.Plan
+}
+
+// RunUplinkSlot plans and evaluates one IAC uplink slot for the scenario.
+// twoPacketRole selects which client transmits two packets this slot
+// (the paper rotates this role round-robin, Section 10.1). Supported
+// shapes: 2 clients x 2 APs (three packets, Fig. 4b) and 3 clients x
+// 3 APs (four packets, Fig. 5).
+//
+// Planning runs on estimated channels; SINRs are measured on the true
+// ones.
+func RunUplinkSlot(s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, error) {
+	nc, na := len(s.Clients), len(s.APs)
+	if twoPacketRole < 0 || twoPacketRole >= nc {
+		return SlotOutcome{}, fmt.Errorf("testbed: role %d out of range", twoPacketRole)
+	}
+	// Order clients so the two-packet client sits at transmitter 0.
+	order := make([]int, 0, nc)
+	order = append(order, twoPacketRole)
+	for i := 0; i < nc; i++ {
+		if i != twoPacketRole {
+			order = append(order, i)
+		}
+	}
+	baseTrue := Permute(s.UplinkChannels(), order)
+	baseEst := Estimate(baseTrue, rng)
+
+	solve := func(est core.ChannelSet) (*core.Plan, error) {
+		switch {
+		case nc == 2 && na == 2:
+			return core.SolveUplinkThree(est, rng)
+		case nc == 3 && na == 3:
+			return core.SolveUplinkChain(est, rng)
+		default:
+			return nil, fmt.Errorf("testbed: unsupported uplink shape %dx%d", nc, na)
+		}
+	}
+	// The leader chooses which AP plays which role in the construction
+	// by estimated rate (Section 7.1: the concurrency algorithm decides
+	// AP assignments along with the vectors).
+	plan, trueCS, err := bestRxAssignment(baseTrue, baseEst, solve)
+	if err != nil {
+		return SlotOutcome{}, err
+	}
+	ev, err := plan.Evaluate(trueCS, plan.PlannedChannels, NodePower, NoisePower)
+	if err != nil {
+		return SlotOutcome{}, err
+	}
+	out := SlotOutcome{SumRate: ev.SumRate, PerClient: map[int]float64{}, Plan: plan.Plan}
+	for pkt, owner := range plan.Owner {
+		out.PerClient[order[owner]] += ev.PacketRate[pkt]
+	}
+	return out, nil
+}
+
+// solveCandidates is how many random-seeded solver attempts the leader
+// evaluates per role assignment before committing to a plan.
+const solveCandidates = 3
+
+// plannedPlan bundles a solved plan with the channel estimates it was
+// planned against (in the plan's receiver order).
+type plannedPlan struct {
+	*core.Plan
+	PlannedChannels core.ChannelSet
+}
+
+// bestTxAssignment mirrors bestRxAssignment over the transmitter axis
+// (downlink: which AP carries which packet).
+func bestTxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet) (*core.Plan, error)) (plannedPlan, core.ChannelSet, error) {
+	var best plannedPlan
+	var bestTrue core.ChannelSet
+	bestRate := -1.0
+	var lastErr error
+	for _, perm := range permutations(trueCS.NumTx()) {
+		est := Permute(estCS, perm)
+		for attempt := 0; attempt < solveCandidates; attempt++ {
+			plan, err := solve(est)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			ev, err := plan.Evaluate(est, est, NodePower, NoisePower)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if ev.SumRate > bestRate {
+				bestRate = ev.SumRate
+				best = plannedPlan{Plan: plan, PlannedChannels: est}
+				bestTrue = Permute(trueCS, perm)
+			}
+		}
+	}
+	if best.Plan == nil {
+		return plannedPlan{}, nil, lastErr
+	}
+	return best, bestTrue, nil
+}
+
+// bestRxAssignment tries every receiver-role permutation, solving on the
+// estimated channels and scoring by the estimated sum rate, and returns
+// the winner together with the true channels in the same order.
+func bestRxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet) (*core.Plan, error)) (plannedPlan, core.ChannelSet, error) {
+	var best plannedPlan
+	var bestTrue core.ChannelSet
+	bestRate := -1.0
+	var lastErr error
+	for _, perm := range permutations(trueCS.NumRx()) {
+		est := PermuteRx(estCS, perm)
+		// Several solver attempts per role assignment: the solvers draw
+		// random free vectors, and the leader keeps the candidate with
+		// the best estimated rate (Section 7.2 estimates rates without
+		// transmitting).
+		for attempt := 0; attempt < solveCandidates; attempt++ {
+			plan, err := solve(est)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			// Score with the planner's knowledge only (estimates).
+			ev, err := plan.Evaluate(est, est, NodePower, NoisePower)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if ev.SumRate > bestRate {
+				bestRate = ev.SumRate
+				best = plannedPlan{Plan: plan, PlannedChannels: est}
+				bestTrue = PermuteRx(trueCS, perm)
+			}
+		}
+	}
+	if best.Plan == nil {
+		return plannedPlan{}, nil, lastErr
+	}
+	return best, bestTrue, nil
+}
+
+// RunDownlinkSlot plans and evaluates one IAC downlink slot. Supported
+// shapes: 3 APs x 3 clients (triangle, Fig. 6) and 2 APs x 1 client
+// (diversity selection, Fig. 14).
+func RunDownlinkSlot(s Scenario, rng *rand.Rand) (SlotOutcome, error) {
+	nc, na := len(s.Clients), len(s.APs)
+	baseTrue := s.DownlinkChannels()
+	baseEst := Estimate(baseTrue, rng)
+	solve := func(est core.ChannelSet) (*core.Plan, error) {
+		switch {
+		case nc == 3 && na == 3:
+			return core.SolveDownlinkTriangle(est)
+		case nc == 1 && na == 2:
+			return core.SolveDownlinkDiversity(est, rng, NodePower, NoisePower)
+		default:
+			return nil, fmt.Errorf("testbed: unsupported downlink shape %dx%d clients/APs", nc, na)
+		}
+	}
+	// Downlink roles: the permutation runs over the transmitter (AP)
+	// axis here, deciding which AP carries which client's packet.
+	plan, trueCS, err := bestTxAssignment(baseTrue, baseEst, solve)
+	if err != nil {
+		return SlotOutcome{}, err
+	}
+	ev, err := plan.Evaluate(trueCS, plan.PlannedChannels, NodePower, NoisePower)
+	if err != nil {
+		return SlotOutcome{}, err
+	}
+	out := SlotOutcome{SumRate: ev.SumRate, PerClient: map[int]float64{}, Plan: plan.Plan}
+	for pkt := range plan.Owner {
+		// Downlink packets are destined to the receiver that decodes
+		// them; attribute each packet to that client.
+		client := downlinkDestination(plan.Plan, pkt)
+		out.PerClient[client] += ev.PacketRate[pkt]
+	}
+	return out, nil
+}
+
+// downlinkDestination finds which receiver decodes the packet.
+func downlinkDestination(plan *core.Plan, pkt int) int {
+	for _, step := range plan.Schedule {
+		for _, p := range step.Packets {
+			if p == pkt {
+				return step.Rx
+			}
+		}
+	}
+	return -1 // unreachable for validated plans
+}
+
+// AverageUplinkIAC runs one slot per two-packet role (the paper's
+// round-robin) and returns the average sum rate.
+func AverageUplinkIAC(s Scenario, rng *rand.Rand) (float64, error) {
+	var total float64
+	n := 0
+	for role := 0; role < len(s.Clients); role++ {
+		out, err := RunUplinkSlot(s, role, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += out.SumRate
+		n++
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,168 @@
+// Package testbed wires the channel world to the IAC core and the
+// 802.11-MIMO baseline for whole-experiment runs: scenario selection,
+// channel-set construction with realistic estimation noise, and the rate
+// accounting conventions shared by every figure of the paper's
+// evaluation (Section 10).
+package testbed
+
+import (
+	"math/rand"
+
+	"iaclan/internal/channel"
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/core"
+	"iaclan/internal/mimo"
+)
+
+// Conventions shared across experiments, chosen to mirror the paper's
+// setup: unit receiver noise (the world's path gains are then per-antenna
+// SNRs), unit per-node transmit power split across a node's concurrent
+// packets, and channel estimates obtained from training packets of
+// TrainSymbols symbols.
+const (
+	// NodePower is every node's total transmit power budget.
+	NodePower = 1.0
+	// NoisePower is the receiver noise power.
+	NoisePower = 1.0
+	// TrainSymbols is the training length behind channel estimates;
+	// estimation noise per entry is NoisePower/sqrt(TrainSymbols).
+	TrainSymbols = 64
+)
+
+// Scenario is a selected set of clients and APs within a world.
+type Scenario struct {
+	World   *channel.World
+	Clients []*channel.Node
+	APs     []*channel.Node
+}
+
+// PickScenario draws numClients + numAPs distinct random nodes from the
+// world and splits them.
+func PickScenario(w *channel.World, numClients, numAPs int) Scenario {
+	nodes := w.PickDistinct(numClients + numAPs)
+	return Scenario{World: w, Clients: nodes[:numClients], APs: nodes[numClients:]}
+}
+
+// UplinkChannels returns the true client->AP channel set.
+func (s Scenario) UplinkChannels() core.ChannelSet {
+	cs := core.NewChannelSet(len(s.Clients), len(s.APs))
+	for i, c := range s.Clients {
+		for j, ap := range s.APs {
+			cs[i][j] = s.World.Channel(c, ap)
+		}
+	}
+	return cs
+}
+
+// DownlinkChannels returns the true AP->client channel set.
+func (s Scenario) DownlinkChannels() core.ChannelSet {
+	cs := core.NewChannelSet(len(s.APs), len(s.Clients))
+	for i, ap := range s.APs {
+		for j, c := range s.Clients {
+			cs[i][j] = s.World.Channel(ap, c)
+		}
+	}
+	return cs
+}
+
+// Estimate corrupts a channel set with training-length-limited estimation
+// noise, giving the planner the same imperfect knowledge a real AP has.
+func Estimate(cs core.ChannelSet, rng *rand.Rand) core.ChannelSet {
+	sigma := channel.EstimationSigma(TrainSymbols)
+	out := core.NewChannelSet(cs.NumTx(), cs.NumRx())
+	for t := range cs {
+		for r := range cs[t] {
+			out[t][r] = channel.NoisyEstimate(cs[t][r], sigma, rng)
+		}
+	}
+	return out
+}
+
+// Permute reorders the transmitter axis of a channel set, used to rotate
+// which client plays the two-packet role across slots.
+func Permute(cs core.ChannelSet, order []int) core.ChannelSet {
+	out := make(core.ChannelSet, len(order))
+	for i, o := range order {
+		out[i] = cs[o]
+	}
+	return out
+}
+
+// PermuteRx reorders the receiver axis of a channel set, used to choose
+// which AP plays which role in a construction (the concurrency algorithm
+// "decides which AP serves which client in a transmission group",
+// Section 7.1).
+func PermuteRx(cs core.ChannelSet, order []int) core.ChannelSet {
+	out := core.NewChannelSet(cs.NumTx(), len(order))
+	for t := range cs {
+		for j, o := range order {
+			out[t][j] = cs[t][o]
+		}
+	}
+	return out
+}
+
+// permutations returns all orderings of 0..n-1. n is small (2 or 3 APs).
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// BaselineUplinkRate returns one client's 802.11-MIMO uplink rate: the
+// eigenmode rate to its best AP (extra APs give diversity only,
+// Section 10e).
+func BaselineUplinkRate(s Scenario, client int) float64 {
+	chans := make([]*cmplxmat.Matrix, len(s.APs))
+	for j, ap := range s.APs {
+		chans[j] = s.World.Channel(s.Clients[client], ap)
+	}
+	_, rate := mimo.BestAP(chans, NodePower, NoisePower)
+	return rate
+}
+
+// BaselineDownlinkRate returns one client's 802.11-MIMO downlink rate
+// from its best AP.
+func BaselineDownlinkRate(s Scenario, client int) float64 {
+	chans := make([]*cmplxmat.Matrix, len(s.APs))
+	for j, ap := range s.APs {
+		chans[j] = s.World.Channel(ap, s.Clients[client])
+	}
+	_, rate := mimo.BestAP(chans, NodePower, NoisePower)
+	return rate
+}
+
+// BaselineTDMARate returns the time-shared 802.11-MIMO sum rate for the
+// scenario's clients: each client gets an equal share of the medium at
+// its best-AP rate — the paper's comparison MAC, which "assigns the same
+// number of transmission timeslots to the two schemes".
+func BaselineTDMARate(s Scenario, uplink bool) float64 {
+	if len(s.Clients) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range s.Clients {
+		if uplink {
+			sum += BaselineUplinkRate(s, i)
+		} else {
+			sum += BaselineDownlinkRate(s, i)
+		}
+	}
+	return sum / float64(len(s.Clients))
+}
