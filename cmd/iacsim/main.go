@@ -1,73 +1,98 @@
-// Command iacsim runs one configurable IAC scenario against the
-// 802.11-MIMO baseline and prints per-slot rates and the gain.
+// Command iacsim sustains traffic through the IAC stack over simulated
+// time: traffic generators feed the PCF MAC, transmission groups run on
+// the simulated PHY, and the wired backend bytes are metered. It prints
+// per-client throughput/latency, Jain fairness, and the backend load,
+// optionally against the TDMA-style one-packet-per-slot baseline.
 //
 // Usage:
 //
-//	iacsim -dir up -clients 2 -aps 2 -slots 20 -seed 7
-//	iacsim -dir down -clients 3 -aps 3
-//	iacsim -dir down -clients 1 -aps 2      # single-client diversity
+//	iacsim -clients 10 -aps 3 -cycles 1000 -workload poisson -load 0.1
+//	iacsim -workload bursty -load 0.15 -duty 0.25 -trials 8 -compare
+//	iacsim -dir down -workload saturated -picker brute-force
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"iaclan"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "up", "direction: up or down")
-		clients = flag.Int("clients", 2, "number of clients")
-		aps     = flag.Int("aps", 2, "number of APs")
-		slots   = flag.Int("slots", 10, "number of transmission slots")
-		seed    = flag.Int64("seed", 1, "random seed")
+		dir      = flag.String("dir", "up", "direction: up or down")
+		clients  = flag.Int("clients", 10, "number of clients")
+		aps      = flag.Int("aps", 3, "number of APs")
+		cycles   = flag.Int("cycles", 1000, "CFP cycles to simulate")
+		group    = flag.Int("group", 3, "transmission group size (1 = TDMA baseline)")
+		picker   = flag.String("picker", "best-of-two", "concurrency algorithm: fifo, best-of-two, brute-force")
+		workload = flag.String("workload", "poisson", "traffic model: saturated, cbr, poisson, bursty")
+		load     = flag.Float64("load", 0.1, "offered load per client in packets/slot")
+		duty     = flag.Float64("duty", 0.2, "bursty on-fraction")
+		burst    = flag.Float64("burst", 20, "bursty mean on-period in slots")
+		trials   = flag.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all cores)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		compare  = flag.Bool("compare", false, "also run the TDMA-style GroupSize=1 baseline and report the gain")
 	)
 	flag.Parse()
-	uplink := *dir == "up"
-	if !uplink && *dir != "down" {
+	if *dir != "up" && *dir != "down" {
 		log.Fatalf("iacsim: -dir must be 'up' or 'down', got %q", *dir)
 	}
 
-	net := iaclan.NewTestbedNetwork(*seed)
-	nodes := net.Nodes()
-	if *clients+*aps > len(nodes) {
-		log.Fatalf("iacsim: testbed has only %d nodes", len(nodes))
+	cfg := iaclan.DefaultSimConfig()
+	cfg.Seed = *seed
+	cfg.Clients = *clients
+	cfg.APs = *aps
+	cfg.Uplink = *dir == "up"
+	cfg.Cycles = *cycles
+	cfg.GroupSize = *group
+	cfg.Picker = *picker
+	// The flag strings are the sim.WorkloadKind names; Simulate
+	// validates unknown kinds.
+	cfg.Workload = iaclan.SimWorkload{
+		Kind:           iaclan.WorkloadKind(*workload),
+		PacketsPerSlot: *load,
+		Duty:           *duty,
+		MeanBurstSlots: *burst,
 	}
-	cl := nodes[:*clients]
-	ap := nodes[*clients : *clients+*aps]
+	cfg.Trials = *trials
+	cfg.Workers = *workers
 
-	fmt.Printf("IAC simulation: %d clients, %d APs, %s-link, %d slots (seed %d)\n",
-		*clients, *aps, *dir, *slots, *seed)
-	fmt.Printf("%-6s %-14s %-14s %-8s\n", "slot", "iac [b/s/Hz]", "base [b/s/Hz]", "packets")
+	fmt.Printf("IAC traffic simulation: %d clients, %d APs, %s-link, %s load %.3g pkt/slot, %d cycles x %d trials\n",
+		cfg.Clients, cfg.APs, *dir, *workload, *load, cfg.Cycles, cfg.Trials)
+	start := time.Now()
+	res, err := iaclan.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
 
-	var iacSum, baseSum float64
-	ok := 0
-	for s := 0; s < *slots; s++ {
-		var r iaclan.SlotRates
-		var err error
-		if uplink {
-			r, err = net.Uplink(cl, ap, s%*clients)
-		} else {
-			r, err = net.Downlink(cl, ap)
-		}
-		if err != nil {
-			fmt.Printf("%-6d (skipped: %v)\n", s, err)
-			continue
-		}
-		b, err := net.Baseline(cl, ap, uplink)
+	fmt.Printf("\n%-7s %-16s\n", "client", "thr [bits/slot]")
+	for i, thr := range res.PerClientThroughput {
+		fmt.Printf("%-7d %-16.1f\n", i, thr)
+	}
+	fmt.Println()
+	fmt.Print(res)
+	fmt.Printf("wall time %v (%d workers)\n", wall.Round(time.Millisecond), res.Workers)
+
+	if *compare && cfg.GroupSize > 1 {
+		base := cfg
+		base.GroupSize = 1
+		base.Picker = iaclan.PickerFIFO
+		bres, err := iaclan.Simulate(base)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-6d %-14.2f %-14.2f %-8d\n", s, r.SumRate, b.SumRate, r.Packets)
-		iacSum += r.SumRate
-		baseSum += b.SumRate
-		ok++
-		net.Redraw()
-	}
-	if ok > 0 && baseSum > 0 {
-		fmt.Printf("\naverage: IAC %.2f b/s/Hz vs 802.11-MIMO %.2f b/s/Hz -> gain %.2fx\n",
-			iacSum/float64(ok), baseSum/float64(ok), iacSum/baseSum)
+		fmt.Printf("\nTDMA baseline: %.1f bits/slot, latency mean %.1f slots\n",
+			bres.SumThroughputBitsPerSlot, bres.MeanLatencySlots)
+		if bres.SumThroughputBitsPerSlot > 0 {
+			fmt.Printf("IAC throughput gain: %.2fx\n", res.SumThroughputBitsPerSlot/bres.SumThroughputBitsPerSlot)
+		}
+		if res.MeanLatencySlots > 0 {
+			fmt.Printf("IAC latency speedup: %.2fx\n", bres.MeanLatencySlots/res.MeanLatencySlots)
+		}
 	}
 }

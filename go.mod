@@ -1,0 +1,3 @@
+module iaclan
+
+go 1.24

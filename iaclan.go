@@ -32,6 +32,7 @@ import (
 
 	"iaclan/internal/channel"
 	"iaclan/internal/exp"
+	"iaclan/internal/sim"
 	"iaclan/internal/testbed"
 )
 
@@ -233,19 +234,87 @@ func (n *Network) Gain(clients, aps []Node, uplink bool) (float64, error) {
 	var iacRate float64
 	if uplink {
 		iacRate, err = testbed.AverageUplinkIAC(s, n.rng)
+		if err != nil {
+			return 0, fmt.Errorf("iaclan: uplink slot: %w", err)
+		}
 	} else {
-		var out testbed.SlotOutcome
-		out, err = testbed.RunDownlinkSlot(s, n.rng)
+		out, err := testbed.RunDownlinkSlot(s, n.rng)
+		if err != nil {
+			return 0, fmt.Errorf("iaclan: downlink slot: %w", err)
+		}
 		iacRate = out.SumRate
-	}
-	if err != nil {
-		return 0, err
 	}
 	base := testbed.BaselineTDMARate(s, uplink)
 	if base == 0 {
 		return 0, fmt.Errorf("iaclan: zero baseline rate")
 	}
 	return iacRate / base, nil
+}
+
+// SimConfig configures a discrete-event LAN traffic simulation: the
+// network size, CFP cycle count, transmission group size, concurrency
+// algorithm, offered-load model, and the trial sweep (Trials trials
+// with seeds Seed..Seed+Trials-1 over Workers goroutines).
+type SimConfig = sim.Config
+
+// SimWorkload specifies the per-client offered-load model of a
+// simulation (kind plus rate/burstiness parameters).
+type SimWorkload = sim.Workload
+
+// WorkloadKind names an offered-load model (see the Workload*
+// constants).
+type WorkloadKind = sim.WorkloadKind
+
+// Workload kinds for SimWorkload.Kind.
+const (
+	WorkloadSaturated = sim.Saturated
+	WorkloadCBR       = sim.CBR
+	WorkloadPoisson   = sim.Poisson
+	WorkloadBursty    = sim.Bursty
+)
+
+// Picker names for SimConfig.Picker.
+const (
+	PickerFIFO       = sim.PickerFIFO
+	PickerBestOfTwo  = sim.PickerBestOfTwo
+	PickerBruteForce = sim.PickerBruteForce
+)
+
+// SimResult aggregates a simulation sweep: per-client throughput,
+// latency percentiles, Jain fairness, delivered fraction, and the
+// backend-bytes-per-wireless-bit wired-plane load.
+type SimResult = sim.Summary
+
+// SimTrial is one trial's raw result (see SimulateTrials).
+type SimTrial = sim.TrialResult
+
+// DefaultSimConfig returns the engine defaults: a 10-client, 3-AP
+// uplink under Poisson load for 1000 CFP cycles.
+func DefaultSimConfig() SimConfig { return sim.Default() }
+
+// Simulate sustains traffic over simulated time through the whole IAC
+// stack — traffic generators feed the PCF MAC, every transmission group
+// is planned and evaluated on the simulated PHY, and the APs' wired
+// coordination bytes are metered — then aggregates cfg.Trials
+// independent trials run in parallel on cfg.Workers goroutines.
+// Results are bit-identical for a fixed seed regardless of worker
+// count.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	res, err := sim.RunSweep(cfg)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("iaclan: simulate: %w", err)
+	}
+	return res, nil
+}
+
+// SimulateTrials is Simulate without the aggregation: the raw
+// per-trial results in seed order.
+func SimulateTrials(cfg SimConfig) ([]SimTrial, error) {
+	trials, err := sim.RunTrials(cfg, cfg.Trials, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("iaclan: simulate: %w", err)
+	}
+	return trials, nil
 }
 
 // ExperimentConfig re-exports the experiment tuning knobs.

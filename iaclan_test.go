@@ -149,7 +149,7 @@ func TestValidationErrors(t *testing.T) {
 
 func TestExperimentsRegistryAndRun(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Fatalf("experiments %v", ids)
 	}
 	cfg := DefaultExperimentConfig()

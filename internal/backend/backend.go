@@ -143,6 +143,18 @@ func (h *MemHub) Drain(port int) []Message {
 	return out
 }
 
+// DiscardAll clears every port's queue without returning the messages.
+// Long-running simulations that use the hub for wired-plane byte
+// accounting only (nobody consumes the broadcasts) call it once per CFP
+// cycle so queues stay bounded.
+func (h *MemHub) DiscardAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for p := range h.queues {
+		h.queues[p] = nil
+	}
+}
+
 // BytesOnWire implements Hub.
 func (h *MemHub) BytesOnWire() int64 {
 	h.mu.Lock()

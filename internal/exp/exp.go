@@ -104,6 +104,7 @@ func Registry() []struct {
 		{"ethernet", EthernetOverhead},
 		{"ofdm", OFDMAlignment},
 		{"adhoc", AdHocClusters},
+		{"loadsweep", LoadSweep},
 	}
 }
 

@@ -9,7 +9,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 	want := []string{
 		"fig12", "fig13a", "fig13b", "fig14", "fig15a", "fig15b",
 		"fig16", "lemma51", "lemma52", "freqoffset", "overhead", "ethernet",
-		"ofdm", "adhoc",
+		"ofdm", "adhoc", "loadsweep",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -304,6 +304,43 @@ func TestAdHocClustersShape(t *testing.T) {
 	// End-to-end is still capped by some link.
 	if r.Metrics["end_to_end_iac_bpshz"] > r.Metrics["intra_cluster_bpshz"]+1e-9 {
 		t.Fatal("end-to-end exceeded the intra-cluster rate")
+	}
+}
+
+func TestLoadSweepShape(t *testing.T) {
+	r, err := LoadSweep(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below everyone's capacity both schemes deliver the offered load...
+	if r.Metrics["delivered_iac_load0.03"] < 0.95 || r.Metrics["delivered_tdma_load0.03"] < 0.95 {
+		t.Fatalf("low load should be fully delivered: iac %v tdma %v",
+			r.Metrics["delivered_iac_load0.03"], r.Metrics["delivered_tdma_load0.03"])
+	}
+	// ...and IAC's concurrency shows up as lower queueing latency.
+	for _, load := range []string{"0.03", "0.06", "0.12", "0.24"} {
+		if r.Metrics["lat_iac_load"+load] >= r.Metrics["lat_tdma_load"+load] {
+			t.Fatalf("IAC latency %v >= TDMA %v at load %s",
+				r.Metrics["lat_iac_load"+load], r.Metrics["lat_tdma_load"+load], load)
+		}
+	}
+	// The throughput gain grows with offered load and approaches the
+	// saturated-medium gains past the TDMA knee.
+	if r.Metrics["gain_load0.24"] <= r.Metrics["gain_load0.03"] {
+		t.Fatalf("gain should grow with load: %v at 0.24 vs %v at 0.03",
+			r.Metrics["gain_load0.24"], r.Metrics["gain_load0.03"])
+	}
+	if g := r.Metrics["gain_load0.24"]; g < 1.5 {
+		t.Fatalf("saturated gain %v below 1.5x", g)
+	}
+	if r.Metrics["delivered_iac_load0.24"] <= r.Metrics["delivered_tdma_load0.24"] {
+		t.Fatal("past the knee IAC should deliver a larger fraction than TDMA")
+	}
+	// The wired plane stays far below one byte per wireless bit.
+	for _, load := range []string{"0.03", "0.24"} {
+		if v := r.Metrics["backend_bytes_per_bit_load"+load]; v <= 0 || v > 1 {
+			t.Fatalf("backend ratio %v at load %s", v, load)
+		}
 	}
 }
 

@@ -18,6 +18,19 @@ type SlotResult struct {
 // it) and returns the outcome. The group slice is never empty.
 type SlotRunner func(group []ClientID) SlotResult
 
+// Tracer observes packet lifecycle events. Slot times are in the
+// simulator's airtime clock (see Slots): born is the enqueue slot, now
+// the slot at which the packet left the system. A requeued retry keeps
+// its original born, so delivered latency includes retransmission
+// delay.
+type Tracer interface {
+	// PacketDelivered fires when a packet is acked, with the rate its
+	// transmission achieved.
+	PacketDelivered(c ClientID, born, now int, rate float64)
+	// PacketDropped fires when a packet is lost with no retries left.
+	PacketDropped(c ClientID, born, now int)
+}
+
 // Config parametrizes the PCF simulator.
 type Config struct {
 	// GroupSize is the number of clients per transmission group.
@@ -59,6 +72,7 @@ type Simulator struct {
 	stats   map[ClientID]*ClientStats
 	beacons int
 	slots   int
+	tracer  Tracer
 	// pendingAcks collects (client, success) outcomes of the current CFP
 	// for the next beacon's ack map.
 	pendingAcks []ackEntry
@@ -67,6 +81,7 @@ type Simulator struct {
 type queuedPacket struct {
 	client  ClientID
 	retries int
+	born    int
 }
 
 type ackEntry struct {
@@ -92,9 +107,18 @@ func NewSimulator(cfg Config, picker GroupPicker, est RateEstimator, run SlotRun
 	}
 }
 
-// Enqueue appends a packet for the client to the leader's FIFO queue.
-func (s *Simulator) Enqueue(c ClientID) {
-	s.queue = append(s.queue, queuedPacket{client: c})
+// SetTracer installs a lifecycle observer (nil disables tracing).
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+// Enqueue appends a packet for the client to the leader's FIFO queue,
+// born at the current slot clock.
+func (s *Simulator) Enqueue(c ClientID) { s.EnqueueBorn(c, s.slots) }
+
+// EnqueueBorn appends a packet whose arrival predates the enqueue call —
+// traffic generators use it to stamp packets with their true arrival
+// slot, so queueing delay before the beacon counts toward latency.
+func (s *Simulator) EnqueueBorn(c ClientID, born int) {
+	s.queue = append(s.queue, queuedPacket{client: c, born: born})
 }
 
 // QueueLen returns the number of queued packets.
@@ -151,18 +175,25 @@ func (s *Simulator) RunCFP() Beacon {
 			panic(fmt.Sprintf("mac: SlotRunner returned %d/%d results for %d clients", len(res.Rate), len(res.Lost), len(group)))
 		}
 		cfpSlots++
+		now := s.slots + cfpSlots
 		for i, c := range group {
 			served[c] = true
 			st := s.statFor(c)
 			st.Slots++
-			s.dequeueOne(c, res.Lost[i])
+			born, dropped := s.dequeueOne(c, res.Lost[i])
 			if res.Lost[i] {
 				st.Lost++
 				s.pendingAcks = append(s.pendingAcks, ackEntry{c, false})
+				if dropped && s.tracer != nil {
+					s.tracer.PacketDropped(c, born, now)
+				}
 			} else {
 				st.Delivered++
 				st.RateSum += res.Rate[i]
 				s.pendingAcks = append(s.pendingAcks, ackEntry{c, true})
+				if s.tracer != nil {
+					s.tracer.PacketDelivered(c, born, now, res.Rate[i])
+				}
 			}
 		}
 	}
@@ -197,12 +228,18 @@ func (s *Simulator) RunSlot() []ClientID {
 	for i, c := range group {
 		st := s.statFor(c)
 		st.Slots++
-		s.dequeueOne(c, res.Lost[i])
+		born, dropped := s.dequeueOne(c, res.Lost[i])
 		if res.Lost[i] {
 			st.Lost++
+			if dropped && s.tracer != nil {
+				s.tracer.PacketDropped(c, born, s.slots)
+			}
 		} else {
 			st.Delivered++
 			st.RateSum += res.Rate[i]
+			if s.tracer != nil {
+				s.tracer.PacketDelivered(c, born, s.slots, res.Rate[i])
+			}
 		}
 	}
 	return group
@@ -210,18 +247,24 @@ func (s *Simulator) RunSlot() []ClientID {
 
 // dequeueOne removes the first queued packet of the client; if lost and
 // retries remain it is re-appended at the tail ("the client ... asks for
-// a new transmission slot next time it is polled").
-func (s *Simulator) dequeueOne(c ClientID, lost bool) {
+// a new transmission slot next time it is polled"). It returns the
+// packet's born slot and whether it left the system for good on a loss.
+func (s *Simulator) dequeueOne(c ClientID, lost bool) (born int, dropped bool) {
 	for i, qp := range s.queue {
 		if qp.client != c {
 			continue
 		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
-		if lost && qp.retries < s.cfg.MaxRetries {
-			s.queue = append(s.queue, queuedPacket{client: c, retries: qp.retries + 1})
+		if lost {
+			if qp.retries < s.cfg.MaxRetries {
+				s.queue = append(s.queue, queuedPacket{client: c, retries: qp.retries + 1, born: qp.born})
+				return qp.born, false
+			}
+			return qp.born, true
 		}
-		return
+		return qp.born, false
 	}
+	return 0, false
 }
 
 func (s *Simulator) statFor(c ClientID) *ClientStats {

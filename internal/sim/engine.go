@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iaclan/internal/backend"
+	"iaclan/internal/channel"
+	"iaclan/internal/mac"
+	"iaclan/internal/stats"
+	"iaclan/internal/testbed"
+)
+
+// saturatedDepth is how many packets a saturated source keeps queued.
+// One suffices for the serve-once-per-CFP discipline; the second covers
+// the retry a loss re-appends, so saturated queues never run dry.
+const saturatedDepth = 2
+
+// groupOutcome caches one transmission group's planned slot result so
+// the rate estimator (called combinatorially by the pickers) and the
+// slot runner share the planning work, as in the Fig. 15 experiment.
+type groupOutcome struct {
+	ok      bool
+	sumRate float64
+	// perClient maps scenario client index to achieved rate; a group
+	// member absent from the map was not served (fallback slots carry
+	// only the head).
+	perClient map[int]float64
+	packets   int
+}
+
+// engine simulates one trial: one world, one MAC, one wired plane.
+type engine struct {
+	cfg      Config
+	scenario testbed.Scenario
+	rng      *rand.Rand
+	sim      *mac.Simulator
+	hub      *backend.MemHub
+	cache    map[groupKey]groupOutcome
+	payload  []byte
+	seq      uint32
+
+	// Per-client traffic state.
+	gens []Generator
+	next []float64 // next arrival time in slots (timed workloads)
+
+	// Per-client accounting (index = scenario client index).
+	pending   []int
+	offered   []int
+	delivered []int
+	dropped   []int
+	bufDrops  []int
+	rateSum   []float64
+	lat       [][]float64
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	worldNodes := cfg.Clients + cfg.APs
+	if worldNodes < 20 {
+		worldNodes = 20
+	}
+	world := channel.NewTestbed(channel.DefaultParams(), cfg.Seed, worldNodes, 12)
+	e := &engine{
+		cfg:       cfg,
+		scenario:  testbed.PickScenario(world, cfg.Clients, cfg.APs),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 7)),
+		hub:       backend.NewMemHub(cfg.APs),
+		cache:     map[groupKey]groupOutcome{},
+		payload:   make([]byte, cfg.PacketBytes),
+		gens:      make([]Generator, cfg.Clients),
+		next:      make([]float64, cfg.Clients),
+		pending:   make([]int, cfg.Clients),
+		offered:   make([]int, cfg.Clients),
+		delivered: make([]int, cfg.Clients),
+		dropped:   make([]int, cfg.Clients),
+		bufDrops:  make([]int, cfg.Clients),
+		rateSum:   make([]float64, cfg.Clients),
+		lat:       make([][]float64, cfg.Clients),
+	}
+	for i := range e.gens {
+		g, err := cfg.Workload.NewGenerator()
+		if err != nil {
+			return nil, err
+		}
+		e.gens[i] = g
+		if cfg.Workload.Kind != Saturated {
+			// Stagger the sources: the first arrival lands a random
+			// fraction of one inter-arrival gap into the run.
+			e.next[i] = g.Next(e.rng) * e.rng.Float64()
+		}
+	}
+	picker, err := newPicker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.sim = mac.NewSimulator(
+		mac.Config{GroupSize: cfg.GroupSize, CPSlots: cfg.CPSlots, MaxRetries: cfg.MaxRetries},
+		picker, e.estimate, e.runSlot,
+	)
+	e.sim.SetTracer(e)
+	return e, nil
+}
+
+func newPicker(cfg Config) (mac.GroupPicker, error) {
+	switch cfg.Picker {
+	case PickerFIFO:
+		return mac.FIFOPicker{}, nil
+	case PickerBestOfTwo:
+		return mac.NewBestOfTwoPicker(cfg.Seed+101, 8), nil
+	case PickerBruteForce:
+		return mac.BruteForcePicker{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown picker %q", cfg.Picker)
+}
+
+// Run simulates one trial and returns its metrics.
+func Run(cfg Config) (TrialResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return TrialResult{}, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	for c := 0; c < cfg.Cycles; c++ {
+		e.cycle()
+	}
+	return e.result(), nil
+}
+
+// cycle runs one beacon/CFP/CP round: deliver the arrivals that
+// accumulated during the previous cycle's airtime, run the CFP, put the
+// beacon's ack map on the wire, and discard the cycle's broadcasts
+// (the hub is used for byte accounting; nobody replays the payloads).
+func (e *engine) cycle() {
+	e.generate()
+	beacon := e.sim.RunCFP()
+	if len(beacon.AckMap) > 0 {
+		e.publish(backend.MsgAckMap, beacon.AckMap)
+	}
+	e.hub.DiscardAll()
+}
+
+// generate advances every client's arrival process up to the current
+// airtime clock and enqueues the new packets at the leader in true
+// arrival order across clients — the FIFO order the pickers' head-of-
+// queue anti-starvation pin assumes. Ties break by client index, which
+// keeps the run deterministic.
+func (e *engine) generate() {
+	now := float64(e.sim.Slots())
+	if e.cfg.Workload.Kind == Saturated {
+		for i := range e.gens {
+			for e.pending[i] < saturatedDepth {
+				e.offered[i]++
+				e.pending[i]++
+				e.sim.EnqueueBorn(mac.ClientID(i), int(now))
+			}
+		}
+		return
+	}
+	type arrival struct {
+		born   float64
+		client int
+	}
+	var batch []arrival
+	for i := range e.gens {
+		for e.next[i] <= now {
+			batch = append(batch, arrival{born: e.next[i], client: i})
+			e.next[i] += e.gens[i].Next(e.rng)
+		}
+	}
+	sort.Slice(batch, func(a, b int) bool {
+		if batch[a].born != batch[b].born {
+			return batch[a].born < batch[b].born
+		}
+		return batch[a].client < batch[b].client
+	})
+	for _, ar := range batch {
+		i := ar.client
+		e.offered[i]++
+		if e.pending[i] < e.cfg.MaxQueue {
+			e.pending[i]++
+			e.sim.EnqueueBorn(mac.ClientID(i), int(ar.born))
+		} else {
+			e.bufDrops[i]++
+		}
+	}
+}
+
+// estimate is the MAC's RateEstimator: the planned sum rate of the
+// candidate group. Undersized candidates are legal but never preferred.
+func (e *engine) estimate(group []mac.ClientID) float64 {
+	if len(group) != e.cfg.GroupSize {
+		return 0
+	}
+	return e.outcome(group).sumRate
+}
+
+// runSlot is the MAC's SlotRunner: execute the group on the PHY and put
+// the cancellation shares on the wired plane.
+func (e *engine) runSlot(group []mac.ClientID) mac.SlotResult {
+	res := mac.SlotResult{Rate: make([]float64, len(group)), Lost: make([]bool, len(group))}
+	out := e.outcome(group)
+	if !out.ok {
+		// Planning failed (degenerate channels): the slot is wasted and
+		// each involved AP reports the loss to the leader.
+		for i := range group {
+			res.Lost[i] = true
+			e.publish(backend.MsgLossReport, nil)
+		}
+		return res
+	}
+	for i, c := range group {
+		r, served := out.perClient[int(c)]
+		if !served {
+			res.Lost[i] = true
+			continue
+		}
+		res.Rate[i] = r
+	}
+	// Every decoded packet but the last in the cancellation chain
+	// crosses the hub once (Section 7.1d): p packets cost p-1 shares.
+	for s := 1; s < out.packets; s++ {
+		e.publish(backend.MsgDecodedPacket, e.payload)
+	}
+	return res
+}
+
+func (e *engine) publish(t backend.MsgType, payload []byte) {
+	e.seq++
+	// The hub counts each broadcast once regardless of port; publish
+	// from port 0 for simplicity.
+	_ = e.hub.Publish(0, backend.Message{Type: t, From: 0, Seq: e.seq, Payload: payload})
+}
+
+// groupKey identifies a group (max size 3) up to reordering of the
+// non-head members: the head is role-asymmetric (it transmits two
+// packets on the uplink). The fixed-size comparable key keeps the
+// pickers' combinatorial est() calls allocation-free on cache hits;
+// unused slots hold -1.
+type groupKey [3]int32
+
+func makeGroupKey(group []mac.ClientID) groupKey {
+	k := groupKey{-1, -1, -1}
+	k[0] = int32(group[0])
+	for i, c := range group[1:] {
+		k[i+1] = int32(c)
+	}
+	if len(group) == 3 && k[1] > k[2] {
+		k[1], k[2] = k[2], k[1]
+	}
+	return k
+}
+
+func (e *engine) outcome(group []mac.ClientID) groupOutcome {
+	k := makeGroupKey(group)
+	if out, ok := e.cache[k]; ok {
+		return out
+	}
+	out := e.plan(group)
+	e.cache[k] = out
+	return out
+}
+
+// plan maps the group onto a supported slot shape and evaluates it:
+//
+//	uplink   3 clients + 3 APs  -> chain construction, 4 packets
+//	uplink   2 clients + 2 APs  -> three-packet construction
+//	downlink 3 clients + 3 APs  -> triangle construction, 3 packets
+//	downlink 1 client  + 2 APs  -> AP diversity selection, IAC mode only
+//	anything else               -> head alone at its 802.11-MIMO rate
+//
+// The fallback serves only the head; other members come back as lost
+// and retry next CFP, charging the grouping inefficiency to airtime.
+func (e *engine) plan(group []mac.ClientID) groupOutcome {
+	idx := make([]int, len(group))
+	for i, c := range group {
+		idx[i] = int(c)
+	}
+	na := len(e.scenario.APs)
+	sub := testbed.Scenario{World: e.scenario.World}
+	for _, i := range idx {
+		sub.Clients = append(sub.Clients, e.scenario.Clients[i])
+	}
+
+	var res testbed.SlotOutcome
+	var err error
+	switch {
+	case e.cfg.Uplink && len(idx) == 3 && na >= 3:
+		sub.APs = e.scenario.APs[:3]
+		res, err = testbed.RunUplinkSlot(sub, 0, e.rng)
+	case e.cfg.Uplink && len(idx) == 2 && na >= 2:
+		sub.APs = e.scenario.APs[:2]
+		res, err = testbed.RunUplinkSlot(sub, 0, e.rng)
+	case !e.cfg.Uplink && len(idx) == 3 && na >= 3:
+		sub.APs = e.scenario.APs[:3]
+		res, err = testbed.RunDownlinkSlot(sub, e.rng)
+	case !e.cfg.Uplink && len(idx) == 1 && na >= 2 && e.cfg.GroupSize > 1:
+		sub.APs = e.scenario.APs[:2]
+		res, err = testbed.RunDownlinkSlot(sub, e.rng)
+	default:
+		head := idx[0]
+		var r float64
+		if e.cfg.Uplink {
+			r = testbed.BaselineUplinkRate(e.scenario, head)
+		} else {
+			r = testbed.BaselineDownlinkRate(e.scenario, head)
+		}
+		return groupOutcome{ok: true, sumRate: r, perClient: map[int]float64{head: r}, packets: 1}
+	}
+	if err != nil {
+		return groupOutcome{}
+	}
+	per := make(map[int]float64, len(res.PerClient))
+	for local, rate := range res.PerClient {
+		per[idx[local]] += rate
+	}
+	return groupOutcome{ok: true, sumRate: res.SumRate, perClient: per, packets: res.Plan.NumPackets()}
+}
+
+// PacketDelivered implements mac.Tracer.
+func (e *engine) PacketDelivered(c mac.ClientID, born, now int, rate float64) {
+	i := int(c)
+	e.pending[i]--
+	e.delivered[i]++
+	e.rateSum[i] += rate
+	e.lat[i] = append(e.lat[i], float64(now-born))
+}
+
+// PacketDropped implements mac.Tracer.
+func (e *engine) PacketDropped(c mac.ClientID, born, now int) {
+	i := int(c)
+	e.pending[i]--
+	e.dropped[i]++
+}
+
+// result freezes the trial's accumulated state into a TrialResult.
+func (e *engine) result() TrialResult {
+	slots := e.sim.Slots()
+	bitsPerPacket := float64(e.cfg.PacketBytes) * 8
+	tr := TrialResult{
+		Seed:      e.cfg.Seed,
+		Cycles:    e.cfg.Cycles,
+		Slots:     slots,
+		PerClient: make([]ClientMetrics, e.cfg.Clients),
+	}
+	thr := make([]float64, e.cfg.Clients)
+	var allLat []float64
+	var offered, delivered int
+	for i := range tr.PerClient {
+		cm := &tr.PerClient[i]
+		cm.Offered = e.offered[i]
+		cm.Delivered = e.delivered[i]
+		cm.Dropped = e.dropped[i]
+		cm.BufferDropped = e.bufDrops[i]
+		if slots > 0 {
+			cm.ThroughputBitsPerSlot = float64(e.delivered[i]) * bitsPerPacket / float64(slots)
+		}
+		if e.delivered[i] > 0 {
+			cm.MeanRate = e.rateSum[i] / float64(e.delivered[i])
+		}
+		if len(e.lat[i]) > 0 {
+			cm.MeanLatencySlots = stats.Mean(e.lat[i])
+			cm.P95LatencySlots = stats.Percentile(e.lat[i], 95)
+		}
+		thr[i] = cm.ThroughputBitsPerSlot
+		tr.SumThroughputBitsPerSlot += cm.ThroughputBitsPerSlot
+		allLat = append(allLat, e.lat[i]...)
+		offered += e.offered[i]
+		delivered += e.delivered[i]
+	}
+	tr.JainFairness = stats.JainFairness(thr)
+	if len(allLat) > 0 {
+		tr.MeanLatencySlots = stats.Mean(allLat)
+		tr.P95LatencySlots = stats.Percentile(allLat, 95)
+	}
+	if offered > 0 {
+		tr.DeliveredFraction = float64(delivered) / float64(offered)
+	}
+	tr.BackendBytes = e.hub.BytesOnWire()
+	tr.WirelessBits = int64(delivered) * int64(e.cfg.PacketBytes) * 8
+	if tr.WirelessBits > 0 {
+		tr.BackendBytesPerWirelessBit = float64(tr.BackendBytes) / float64(tr.WirelessBits)
+	}
+	return tr
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"iaclan/internal/stats"
+)
+
+// ClientMetrics is one client's outcome over a trial.
+type ClientMetrics struct {
+	// Offered counts packets the traffic source generated; Delivered
+	// those acked; Dropped those lost past MaxRetries; BufferDropped
+	// those discarded at the client for a full queue.
+	Offered       int
+	Delivered     int
+	Dropped       int
+	BufferDropped int
+	// ThroughputBitsPerSlot is delivered payload bits per airtime slot
+	// (CFP slots plus contention periods).
+	ThroughputBitsPerSlot float64
+	// MeanRate is the mean achieved PHY rate (bit/s/Hz) over the
+	// client's delivered packets.
+	MeanRate float64
+	// MeanLatencySlots and P95LatencySlots measure arrival-to-ack delay
+	// in slots (zero when nothing was delivered).
+	MeanLatencySlots float64
+	P95LatencySlots  float64
+}
+
+// TrialResult is one simulation trial's outcome.
+type TrialResult struct {
+	// Seed is the trial's own seed (Config.Seed + trial index).
+	Seed int64
+	// Cycles is the number of CFP cycles run; Slots the airtime they
+	// consumed, including contention periods.
+	Cycles int
+	Slots  int
+	// PerClient is indexed by scenario client index.
+	PerClient []ClientMetrics
+	// SumThroughputBitsPerSlot totals the per-client throughputs.
+	SumThroughputBitsPerSlot float64
+	// JainFairness is Jain's index over per-client throughput.
+	JainFairness float64
+	// MeanLatencySlots / P95LatencySlots pool every delivered packet.
+	MeanLatencySlots float64
+	P95LatencySlots  float64
+	// DeliveredFraction is delivered/offered packets.
+	DeliveredFraction float64
+	// BackendBytes is the wired-plane load; WirelessBits the delivered
+	// payload bits; their ratio is IAC's headline backend metric
+	// ("Ethernet traffic remains comparable to the wireless
+	// throughput", Section 2a).
+	BackendBytes               int64
+	WirelessBits               int64
+	BackendBytesPerWirelessBit float64
+}
+
+// Summary aggregates a trial sweep. Scalar fields are means across
+// trials except the packet counters (totals) and the backend ratio
+// (total bytes over total bits).
+type Summary struct {
+	Trials int
+	Cycles int
+	// Workers is the worker-pool size the sweep actually used (set by
+	// RunSweep; zero when the trials were aggregated directly).
+	Workers int
+	// MeanSlots is the mean airtime per trial.
+	MeanSlots float64
+	// PerClientThroughput is each client's mean throughput (bits/slot)
+	// across trials; JainFairness is Jain's index over it.
+	PerClientThroughput        []float64
+	SumThroughputBitsPerSlot   float64
+	JainFairness               float64
+	MeanLatencySlots           float64
+	P95LatencySlots            float64
+	DeliveredFraction          float64
+	OfferedPackets             int
+	DeliveredPackets           int
+	DroppedPackets             int
+	BufferDroppedPackets       int
+	BackendBytes               int64
+	WirelessBits               int64
+	BackendBytesPerWirelessBit float64
+}
+
+// Summarize aggregates trials deterministically (in slice order).
+func Summarize(trials []TrialResult) Summary {
+	s := Summary{Trials: len(trials)}
+	if len(trials) == 0 {
+		return s
+	}
+	s.Cycles = trials[0].Cycles
+	nClients := len(trials[0].PerClient)
+	s.PerClientThroughput = make([]float64, nClients)
+	latTrials := 0
+	for _, tr := range trials {
+		s.MeanSlots += float64(tr.Slots)
+		s.SumThroughputBitsPerSlot += tr.SumThroughputBitsPerSlot
+		if tr.MeanLatencySlots > 0 || tr.DeliveredFraction > 0 {
+			s.MeanLatencySlots += tr.MeanLatencySlots
+			s.P95LatencySlots += tr.P95LatencySlots
+			latTrials++
+		}
+		s.BackendBytes += tr.BackendBytes
+		s.WirelessBits += tr.WirelessBits
+		for i, cm := range tr.PerClient {
+			if i < nClients {
+				s.PerClientThroughput[i] += cm.ThroughputBitsPerSlot
+			}
+			s.OfferedPackets += cm.Offered
+			s.DeliveredPackets += cm.Delivered
+			s.DroppedPackets += cm.Dropped
+			s.BufferDroppedPackets += cm.BufferDropped
+		}
+	}
+	n := float64(len(trials))
+	s.MeanSlots /= n
+	s.SumThroughputBitsPerSlot /= n
+	if latTrials > 0 {
+		s.MeanLatencySlots /= float64(latTrials)
+		s.P95LatencySlots /= float64(latTrials)
+	}
+	for i := range s.PerClientThroughput {
+		s.PerClientThroughput[i] /= n
+	}
+	s.JainFairness = stats.JainFairness(s.PerClientThroughput)
+	if s.OfferedPackets > 0 {
+		s.DeliveredFraction = float64(s.DeliveredPackets) / float64(s.OfferedPackets)
+	}
+	if s.WirelessBits > 0 {
+		s.BackendBytesPerWirelessBit = float64(s.BackendBytes) / float64(s.WirelessBits)
+	}
+	return s
+}
+
+// String renders the summary as an aligned text block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trials %d, %d cycles each, %.0f slots mean airtime\n", s.Trials, s.Cycles, s.MeanSlots)
+	fmt.Fprintf(&b, "offered %d pkts, delivered %d (%.1f%%), dropped %d, buffer-dropped %d\n",
+		s.OfferedPackets, s.DeliveredPackets, 100*s.DeliveredFraction, s.DroppedPackets, s.BufferDroppedPackets)
+	fmt.Fprintf(&b, "sum throughput %.1f bits/slot, Jain fairness %.3f\n", s.SumThroughputBitsPerSlot, s.JainFairness)
+	fmt.Fprintf(&b, "latency mean %.1f slots, p95 %.1f slots\n", s.MeanLatencySlots, s.P95LatencySlots)
+	fmt.Fprintf(&b, "backend %.4f bytes per wireless bit (%d B / %d b)\n",
+		s.BackendBytesPerWirelessBit, s.BackendBytes, s.WirelessBits)
+	return b.String()
+}

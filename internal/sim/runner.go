@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"sync"
+)
+
+// effectiveWorkers resolves the worker-pool size for a sweep: the
+// requested count (<= 0 means the config's default, all cores), never
+// more than there are trials.
+func effectiveWorkers(cfg Config, workers, trials int) int {
+	if workers <= 0 {
+		workers = cfg.Workers
+	}
+	if workers > trials {
+		workers = trials
+	}
+	return workers
+}
+
+// RunTrials runs `trials` independent simulations with seeds cfg.Seed,
+// cfg.Seed+1, ... sharded over a pool of `workers` goroutines (<= 0
+// means cfg's default, all cores) — the sweep that turns one engine
+// into a multi-core scenario harness. Results come back indexed by
+// trial and are bit-identical regardless of worker count, because each
+// trial owns its world, RNG, MAC, and plan cache. Every trial runs to
+// completion even if another fails; the first error (in trial order)
+// is reported after the sweep drains.
+func RunTrials(cfg Config, trials, workers int) ([]TrialResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		trials = cfg.Trials
+	}
+	workers = effectiveWorkers(cfg, workers, trials)
+
+	results := make([]TrialResult, trials)
+	errs := make([]error, trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)
+				results[i], errs[i] = Run(c)
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunSweep runs the config's own trial sweep (cfg.Trials trials over
+// cfg.Workers workers) and aggregates it — the composition the public
+// API and the experiments share. The returned Summary records the
+// worker count the pool actually used.
+func RunSweep(cfg Config) (Summary, error) {
+	trials, err := RunTrials(cfg, cfg.Trials, cfg.Workers)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summarize(trials)
+	s.Workers = effectiveWorkers(cfg.withDefaults(), cfg.Workers, len(trials))
+	return s, nil
+}

@@ -1,0 +1,174 @@
+// Package sim is a discrete-event LAN traffic engine that drives the
+// whole IAC stack end-to-end over simulated time: pluggable per-client
+// traffic generators feed the leader AP's FIFO queue, the PCF MAC
+// (internal/mac) forms transmission groups cycle by cycle, the testbed
+// layer (internal/testbed) plans and evaluates each concurrent slot on
+// the simulated PHY, and the wired coordination plane (internal/backend)
+// accounts every byte the APs exchange for cancellation.
+//
+// Time is measured in transmission slots. Each simulated CFP cycle is
+// beacon -> contention-free period (one slot per transmission group,
+// every client with pending traffic served once) -> CF-End -> a
+// constant contention period, matching the paper's Section 7 MAC.
+//
+// Everything is deterministic given Config.Seed: a fixed seed replays
+// the exact same run bit for bit, and the parallel trial runner
+// (RunTrials) returns results identical to a serial sweep because each
+// trial owns its world, RNG, and caches.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Picker names for Config.Picker.
+const (
+	PickerFIFO       = "fifo"
+	PickerBestOfTwo  = "best-of-two"
+	PickerBruteForce = "brute-force"
+)
+
+// Config parametrizes one simulation trial (and, via Trials/Workers,
+// a trial sweep).
+type Config struct {
+	// Seed drives the world, the traffic, and the planner; equal seeds
+	// reproduce runs exactly. Trial i of a sweep uses Seed+i.
+	Seed int64
+	// Clients and APs are drawn at random from a testbed world of
+	// max(20, Clients+APs) nodes in a 12x12 m room.
+	Clients int
+	APs     int
+	// Uplink selects the traffic direction (clients->APs or APs->clients).
+	Uplink bool
+	// Cycles is the number of CFP cycles to simulate.
+	Cycles int
+	// GroupSize is the transmission group size: 3 is the paper's IAC
+	// testbed (3x3 slots), 2 uses the 2x2 uplink construction, and 1
+	// degenerates to the 802.11-MIMO TDMA-style PCF baseline.
+	GroupSize int
+	// CPSlots is the constant contention-period length after each CFP.
+	CPSlots int
+	// MaxRetries bounds how often a lost packet is rescheduled. The
+	// zero value is meaningful (drop on first loss) and is NOT filled
+	// from Default; start from Default() for the paper-like 1-retry
+	// behavior.
+	MaxRetries int
+	// MaxQueue caps each client's buffer; arrivals beyond it are dropped
+	// at the client (counted as BufferDropped).
+	MaxQueue int
+	// Picker selects the concurrency algorithm (PickerFIFO,
+	// PickerBestOfTwo, PickerBruteForce).
+	Picker string
+	// Workload is the per-client offered-load model.
+	Workload Workload
+	// PacketBytes is the payload size of every data packet.
+	PacketBytes int
+	// Trials and Workers configure RunTrials-based sweeps: Trials
+	// independent repetitions with seeds Seed..Seed+Trials-1, spread
+	// over Workers goroutines (0 means all cores).
+	Trials  int
+	Workers int
+}
+
+// Default returns the engine defaults: the acceptance scenario of a
+// 10-client, 3-AP uplink under Poisson load.
+func Default() Config {
+	return Config{
+		Seed:        1,
+		Clients:     10,
+		APs:         3,
+		Uplink:      true,
+		Cycles:      1000,
+		GroupSize:   3,
+		CPSlots:     2,
+		MaxRetries:  1,
+		MaxQueue:    64,
+		Picker:      PickerBestOfTwo,
+		Workload:    Workload{Kind: Poisson, PacketsPerSlot: 0.1},
+		PacketBytes: 1440,
+		Trials:      1,
+	}
+}
+
+// withDefaults fills zero-valued fields from Default. Booleans, Seed,
+// and MaxRetries are taken as given (their zero values are meaningful).
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Clients == 0 {
+		c.Clients = d.Clients
+	}
+	if c.APs == 0 {
+		c.APs = d.APs
+	}
+	if c.Cycles == 0 {
+		c.Cycles = d.Cycles
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = d.GroupSize
+	}
+	if c.CPSlots == 0 {
+		c.CPSlots = d.CPSlots
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = d.MaxQueue
+	}
+	if c.Picker == "" {
+		c.Picker = d.Picker
+	}
+	if c.Workload.Kind == "" {
+		c.Workload = d.Workload
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = d.PacketBytes
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// validate rejects configurations the slot shapes cannot serve.
+func (c Config) validate() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("sim: need at least one client")
+	}
+	if c.APs < 1 {
+		return fmt.Errorf("sim: need at least one AP")
+	}
+	if c.Cycles < 1 {
+		return fmt.Errorf("sim: need at least one cycle")
+	}
+	if c.GroupSize < 1 || c.GroupSize > 3 {
+		return fmt.Errorf("sim: GroupSize %d unsupported (1..3)", c.GroupSize)
+	}
+	if c.GroupSize > 1 && c.APs < c.GroupSize {
+		return fmt.Errorf("sim: GroupSize %d needs at least %d APs, have %d", c.GroupSize, c.GroupSize, c.APs)
+	}
+	if c.GroupSize > 1 && !c.Uplink && c.GroupSize != 3 {
+		return fmt.Errorf("sim: downlink IAC supports GroupSize 3 (or 1 for the baseline), got %d", c.GroupSize)
+	}
+	if c.CPSlots < 1 {
+		// Idle cycles must still advance time, or a silent network would
+		// spin without progress.
+		return fmt.Errorf("sim: CPSlots must be >= 1")
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("sim: MaxRetries must be >= 0")
+	}
+	if c.MaxQueue < 1 {
+		return fmt.Errorf("sim: MaxQueue must be >= 1")
+	}
+	switch c.Picker {
+	case PickerFIFO, PickerBestOfTwo, PickerBruteForce:
+	default:
+		return fmt.Errorf("sim: unknown picker %q", c.Picker)
+	}
+	if c.PacketBytes < 1 {
+		return fmt.Errorf("sim: PacketBytes must be >= 1")
+	}
+	return c.Workload.validate()
+}

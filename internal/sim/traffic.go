@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// WorkloadKind names an offered-load model.
+type WorkloadKind string
+
+const (
+	// Saturated keeps every client's queue non-empty: the paper's
+	// Section 10.3 infinite-demand model. The MAC, not the traffic,
+	// limits throughput.
+	Saturated WorkloadKind = "saturated"
+	// CBR emits one packet every 1/PacketsPerSlot slots, with a random
+	// per-client phase — constant-bit-rate flows.
+	CBR WorkloadKind = "cbr"
+	// Poisson draws exponential inter-arrivals with mean
+	// 1/PacketsPerSlot slots — memoryless background traffic.
+	Poisson WorkloadKind = "poisson"
+	// Bursty alternates exponentially distributed on-periods, during
+	// which packets arrive back to back at PacketsPerSlot/Duty, with
+	// silent off-periods sized so the long-run mean load stays at
+	// PacketsPerSlot — on/off streaming traffic.
+	Bursty WorkloadKind = "bursty"
+)
+
+// Workload specifies a per-client offered-load model. The zero value is
+// invalid; Default()'s Poisson 0.1 packets/slot is a working start.
+type Workload struct {
+	Kind WorkloadKind
+	// PacketsPerSlot is the mean offered load per client in packets per
+	// transmission slot (ignored for Saturated).
+	PacketsPerSlot float64
+	// Duty is Bursty's on-fraction in (0, 1); defaults to 0.2.
+	Duty float64
+	// MeanBurstSlots is Bursty's mean on-period length in slots;
+	// defaults to 20.
+	MeanBurstSlots float64
+}
+
+func (w Workload) validate() error {
+	switch w.Kind {
+	case Saturated:
+		return nil
+	case CBR, Poisson:
+		if !(w.PacketsPerSlot > 0) {
+			return fmt.Errorf("sim: %s workload needs PacketsPerSlot > 0", w.Kind)
+		}
+		return nil
+	case Bursty:
+		if !(w.PacketsPerSlot > 0) {
+			return fmt.Errorf("sim: bursty workload needs PacketsPerSlot > 0")
+		}
+		if w.Duty != 0 && !(w.Duty > 0 && w.Duty < 1) {
+			return fmt.Errorf("sim: bursty Duty %v outside (0, 1)", w.Duty)
+		}
+		if w.MeanBurstSlots < 0 {
+			return fmt.Errorf("sim: bursty MeanBurstSlots must be >= 0")
+		}
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown workload kind %q", w.Kind)
+	}
+}
+
+// Generator produces one client's packet arrival process in slot time.
+// Implementations may be stateful (Bursty tracks its burst phase) and
+// are not safe for concurrent use; each client of each trial gets its
+// own instance.
+type Generator interface {
+	Name() string
+	// Next returns the gap in slots between the previous arrival and the
+	// next one. Saturated sources return 0 (the engine keeps their
+	// queues topped up instead of timing arrivals).
+	Next(rng *rand.Rand) float64
+}
+
+// NewGenerator instantiates the workload's arrival process.
+func (w Workload) NewGenerator() (Generator, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	switch w.Kind {
+	case Saturated:
+		return saturatedGen{}, nil
+	case CBR:
+		return &cbrGen{interval: 1 / w.PacketsPerSlot}, nil
+	case Poisson:
+		return &poissonGen{mean: 1 / w.PacketsPerSlot}, nil
+	case Bursty:
+		duty := w.Duty
+		if duty == 0 {
+			duty = 0.2
+		}
+		onMean := w.MeanBurstSlots
+		if onMean == 0 {
+			onMean = 20
+		}
+		return &burstyGen{
+			onInterval: duty / w.PacketsPerSlot,
+			onMean:     onMean,
+			offMean:    onMean * (1 - duty) / duty,
+		}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown workload kind %q", w.Kind)
+}
+
+type saturatedGen struct{}
+
+func (saturatedGen) Name() string            { return string(Saturated) }
+func (saturatedGen) Next(*rand.Rand) float64 { return 0 }
+
+type cbrGen struct{ interval float64 }
+
+func (g *cbrGen) Name() string            { return string(CBR) }
+func (g *cbrGen) Next(*rand.Rand) float64 { return g.interval }
+
+type poissonGen struct{ mean float64 }
+
+func (g *poissonGen) Name() string { return string(Poisson) }
+func (g *poissonGen) Next(rng *rand.Rand) float64 {
+	return g.mean * rng.ExpFloat64()
+}
+
+// burstyGen is an on/off source: during an on-period (exponential, mean
+// onMean slots) packets arrive every onInterval slots; between bursts
+// the source idles for an exponential off-period (mean offMean). The
+// long-run rate is duty/onInterval = PacketsPerSlot.
+type burstyGen struct {
+	onInterval float64
+	onMean     float64
+	offMean    float64
+	// remainingOn is the unexpired part of the current burst.
+	remainingOn float64
+}
+
+func (g *burstyGen) Name() string { return string(Bursty) }
+
+func (g *burstyGen) Next(rng *rand.Rand) float64 {
+	if g.remainingOn >= g.onInterval {
+		g.remainingOn -= g.onInterval
+		return g.onInterval
+	}
+	// The burst ends before the next in-burst arrival: idle through the
+	// leftover on-time plus an off-period, then start a fresh burst
+	// whose first packet comes one in-burst interval in.
+	gap := g.remainingOn + g.offMean*rng.ExpFloat64() + g.onInterval
+	g.remainingOn = g.onMean * rng.ExpFloat64()
+	return gap
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func drawGaps(t *testing.T, w Workload, n int, seed int64) []float64 {
+	t.Helper()
+	g, err := w.NewGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Next(rng)
+		if out[i] < 0 {
+			t.Fatalf("negative inter-arrival %v at draw %d", out[i], i)
+		}
+	}
+	return out
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestCBRInterarrivalsExact(t *testing.T) {
+	gaps := drawGaps(t, Workload{Kind: CBR, PacketsPerSlot: 0.25}, 100, 1)
+	for i, g := range gaps {
+		if g != 4 {
+			t.Fatalf("CBR gap[%d] = %v, want 4", i, g)
+		}
+	}
+}
+
+func TestPoissonInterarrivalMean(t *testing.T) {
+	const rate = 0.2 // mean gap 5 slots
+	gaps := drawGaps(t, Workload{Kind: Poisson, PacketsPerSlot: rate}, 20000, 2)
+	m := meanOf(gaps)
+	if math.Abs(m-5) > 0.15 {
+		t.Fatalf("Poisson mean gap %v, want ~5", m)
+	}
+	// Memorylessness fingerprint: the variance of Exp(1/5) is 25.
+	var v float64
+	for _, g := range gaps {
+		v += (g - m) * (g - m)
+	}
+	v /= float64(len(gaps))
+	if v < 18 || v > 33 {
+		t.Fatalf("Poisson gap variance %v, want ~25", v)
+	}
+}
+
+func TestBurstyLongRunRateAndShape(t *testing.T) {
+	w := Workload{Kind: Bursty, PacketsPerSlot: 0.1, Duty: 0.25, MeanBurstSlots: 40}
+	gaps := drawGaps(t, w, 40000, 3)
+	m := meanOf(gaps)
+	// Long-run rate = 1/mean-gap should track PacketsPerSlot.
+	if rate := 1 / m; math.Abs(rate-0.1) > 0.015 {
+		t.Fatalf("bursty long-run rate %v, want ~0.1", rate)
+	}
+	// Shape: most gaps are the tight in-burst interval (duty/rate = 2.5
+	// slots), a minority are long off-period silences — the defining
+	// bimodality of on/off streaming.
+	inBurst, silence := 0, 0
+	for _, g := range gaps {
+		switch {
+		case g <= 2.5+1e-9:
+			inBurst++
+		case g > 25:
+			silence++
+		}
+	}
+	if frac := float64(inBurst) / float64(len(gaps)); frac < 0.75 {
+		t.Fatalf("in-burst fraction %v, want most arrivals inside bursts", frac)
+	}
+	if silence == 0 {
+		t.Fatal("no off-period silences observed")
+	}
+}
+
+func TestSaturatedGeneratorIsZeroGap(t *testing.T) {
+	g, err := Workload{Kind: Saturated}.NewGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Next(rand.New(rand.NewSource(1))) != 0 {
+		t.Fatal("saturated generator must return zero gaps")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []Workload{
+		{},
+		{Kind: "warp"},
+		{Kind: CBR},
+		{Kind: Poisson, PacketsPerSlot: -1},
+		{Kind: Bursty, PacketsPerSlot: 0.1, Duty: 1.5},
+	}
+	for _, w := range bad {
+		if _, err := w.NewGenerator(); err == nil {
+			t.Fatalf("workload %+v accepted", w)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package iaclan
+
+import (
+	"testing"
+
+	"iaclan/internal/sim"
+)
+
+// Benchmarks for the traffic engine's hot paths, in hub_bench_test.go's
+// spirit: one number per future PR to watch. BenchmarkSimCFPCycle
+// amortizes engine setup and the plan cache warm-up over b.N cycles —
+// the steady-state cost of one beacon/CFP/CP round. The trial-sweep
+// pair measures the parallel runner against its serial twin on the
+// same seeds.
+
+func benchSimConfig() sim.Config {
+	cfg := sim.Default()
+	cfg.Clients = 10
+	cfg.Workload = sim.Workload{Kind: sim.Poisson, PacketsPerSlot: 0.12}
+	return cfg
+}
+
+func BenchmarkSimCFPCycle(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = b.N
+	if _, err := sim.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+const benchSweepTrials = 4
+
+func BenchmarkSimTrialSweepSerial(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = 100
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrials(cfg, benchSweepTrials, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimTrialSweepParallel(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = 100
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrials(cfg, benchSweepTrials, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

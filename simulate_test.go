@@ -1,0 +1,71 @@
+package iaclan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func smallSimConfig() SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.Clients = 10
+	cfg.Cycles = 25
+	cfg.Workload = SimWorkload{Kind: WorkloadPoisson, PacketsPerSlot: 0.12}
+	return cfg
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	res, err := Simulate(smallSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 1 || res.Cycles != 25 {
+		t.Fatalf("shape: %+v", res)
+	}
+	if len(res.PerClientThroughput) != 10 {
+		t.Fatalf("per-client throughput for %d clients", len(res.PerClientThroughput))
+	}
+	if res.SumThroughputBitsPerSlot <= 0 || res.JainFairness <= 0 || res.MeanLatencySlots <= 0 {
+		t.Fatalf("degenerate metrics: %+v", res)
+	}
+	if res.BackendBytesPerWirelessBit <= 0 || res.BackendBytesPerWirelessBit > 1 {
+		t.Fatalf("backend ratio %v", res.BackendBytesPerWirelessBit)
+	}
+}
+
+func TestSimulateBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := smallSimConfig()
+	cfg.Cycles = 15
+	cfg.Trials = 3
+
+	cfg.Workers = 1
+	serial, err := SimulateTrials(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	parallel, err := SimulateTrials(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("worker count changed the results")
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	cfg := smallSimConfig()
+	cfg.GroupSize = 5
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("bad group size accepted")
+	}
+}
+
+func TestGainSurfacesSlotErrors(t *testing.T) {
+	net := NewTestbedNetwork(3)
+	nodes := net.Nodes()
+	// 2 clients x 2 APs is not a supported downlink shape; Gain must
+	// report the planner error instead of a zero-rate ratio.
+	if _, err := net.Gain(nodes[:2], nodes[2:4], false); err == nil {
+		t.Fatal("unsupported downlink shape produced no error")
+	}
+}
