@@ -405,6 +405,7 @@ func benchHub(b *testing.B, tcp bool) {
 	b.Helper()
 	payload := make([]byte, 1500)
 	b.SetBytes(1500)
+	b.ReportAllocs()
 	if tcp {
 		h, err := newTCPHubForBench()
 		if err != nil {

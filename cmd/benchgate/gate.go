@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchSeries collects one benchmark's samples across -count repetitions.
+type benchSeries struct {
+	nsOp   []float64
+	allocs []float64
+	hasAll bool
+}
+
+// parseBench extracts ns/op and allocs/op samples from go-bench text
+// output. CPU suffixes (-8) are stripped so runs from machines with
+// different core counts still line up.
+func parseBench(text string) map[string]*benchSeries {
+	out := map[string]*benchSeries{}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &benchSeries{}
+			out[name] = s
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsOp = append(s.nsOp, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+				s.hasAll = true
+			}
+		}
+	}
+	// Drop entries that never produced a ns/op sample (e.g. stray lines).
+	for name, s := range out {
+		if len(s.nsOp) == 0 {
+			delete(out, name)
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare renders a comparison table and applies the gate: geomean
+// ns/op ratio <= 1+maxRegress AND no allocs/op increase. It returns the
+// report and whether the gate passed.
+func compare(base, head map[string]*benchSeries, maxRegress float64) (string, bool) {
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	if len(names) == 0 {
+		b.WriteString("benchgate: no common benchmarks between base and head\n")
+		return b.String(), false
+	}
+	ok := true
+	logSum := 0.0
+	fmt.Fprintf(&b, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "ratio")
+	for _, name := range names {
+		bm, hm := median(base[name].nsOp), median(head[name].nsOp)
+		ratio := hm / bm
+		logSum += math.Log(ratio)
+		fmt.Fprintf(&b, "%-40s %14.0f %14.0f %8.3f\n", name, bm, hm, ratio)
+		if base[name].hasAll && head[name].hasAll {
+			ba, ha := median(base[name].allocs), median(head[name].allocs)
+			if ha > ba {
+				ok = false
+				fmt.Fprintf(&b, "  FAIL %s: allocs/op increased %.0f -> %.0f\n", name, ba, ha)
+			}
+		}
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Fprintf(&b, "geomean ns/op ratio: %.3f (limit %.3f)\n", geomean, 1+maxRegress)
+	if geomean > 1+maxRegress {
+		ok = false
+		fmt.Fprintf(&b, "FAIL: geomean ns/op regression exceeds %.0f%%\n", maxRegress*100)
+	}
+	if ok {
+		b.WriteString("benchgate: PASS\n")
+	}
+	return b.String(), ok
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseText = `
+goos: linux
+BenchmarkSimulate-8         	      50	  26000000 ns/op	 3400000 B/op	   56000 allocs/op
+BenchmarkSimulate-8         	      50	  26400000 ns/op	 3400100 B/op	   56010 allocs/op
+BenchmarkSimCFPCycle-8      	     200	    380000 ns/op	  327000 B/op	    7854 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	res := parseBench(baseText)
+	if len(res) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(res))
+	}
+	s := res["BenchmarkSimulate"]
+	if s == nil || len(s.nsOp) != 2 || len(s.allocs) != 2 {
+		t.Fatalf("BenchmarkSimulate samples not collected: %+v", s)
+	}
+	if s.nsOp[0] != 26000000 || s.allocs[1] != 56010 {
+		t.Fatalf("wrong samples: %+v", s)
+	}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	head := strings.ReplaceAll(baseText, "380000 ns/op", "400000 ns/op") // +5%
+	report, ok := compare(parseBench(baseText), parseBench(head), 0.15)
+	if !ok {
+		t.Fatalf("5%% regression should pass a 15%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "PASS") {
+		t.Fatalf("report missing PASS:\n%s", report)
+	}
+}
+
+func TestCompareNsOpRegressionFails(t *testing.T) {
+	head := strings.ReplaceAll(baseText, "26000000 ns/op", "39000000 ns/op")
+	head = strings.ReplaceAll(head, "26400000 ns/op", "39600000 ns/op") // +50%
+	head = strings.ReplaceAll(head, "380000 ns/op", "570000 ns/op")     // +50%
+	report, ok := compare(parseBench(baseText), parseBench(head), 0.15)
+	if ok {
+		t.Fatalf("50%% regression passed a 15%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "geomean") {
+		t.Fatalf("report missing geomean line:\n%s", report)
+	}
+}
+
+func TestCompareAllocIncreaseFails(t *testing.T) {
+	head := strings.ReplaceAll(baseText, "7854 allocs/op", "7855 allocs/op")
+	report, ok := compare(parseBench(baseText), parseBench(head), 0.15)
+	if ok {
+		t.Fatalf("alloc increase passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op increased") {
+		t.Fatalf("report missing alloc failure:\n%s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	head := strings.ReplaceAll(baseText, "7854 allocs/op", "394 allocs/op")
+	head = strings.ReplaceAll(head, "380000 ns/op", "180000 ns/op")
+	report, ok := compare(parseBench(baseText), parseBench(head), 0.15)
+	if !ok {
+		t.Fatalf("improvement failed the gate:\n%s", report)
+	}
+}
+
+func TestCompareNoCommonBenchmarksFails(t *testing.T) {
+	other := "BenchmarkOther-8 10 5 ns/op\n"
+	if _, ok := compare(parseBench(baseText), parseBench(other), 0.15); ok {
+		t.Fatal("disjoint benchmark sets should fail the gate")
+	}
+}

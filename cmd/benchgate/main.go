@@ -1,0 +1,59 @@
+// Command benchgate compares two sets of Go benchmark results (the text
+// format `go test -bench` prints, typically with -count=N) and enforces
+// the repository's benchmark-regression gate:
+//
+//   - the geometric mean of per-benchmark ns/op ratios (head over base)
+//     must not exceed 1 + max-regress (default 0.15, i.e. 15%), and
+//   - no benchmark may increase its allocs/op at all.
+//
+// Only benchmarks present in both files are compared; per-benchmark
+// medians tame run-to-run noise. Exit status 1 means the gate failed.
+//
+// Usage:
+//
+//	benchgate -base main.txt -head pr.txt [-max-regress 0.15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	base := flag.String("base", "", "benchmark results of the base commit (required)")
+	head := flag.String("head", "", "benchmark results of the head commit (required)")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated geomean ns/op regression (0.15 = 15%)")
+	flag.Parse()
+	if *base == "" || *head == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseRes, err := parseFile(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	headRes, err := parseFile(*head)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	report, ok := compare(baseRes, headRes, *maxRegress)
+	fmt.Print(report)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string) (map[string]*benchSeries, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res := parseBench(string(data))
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return res, nil
+}

@@ -1,9 +1,15 @@
 package iaclan
 
 import (
+	"math/rand"
+	"testing"
 	"time"
 
 	"iaclan/internal/backend"
+	"iaclan/internal/channel"
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/phy"
+	"iaclan/internal/radio"
 )
 
 // benchHubIface adapts the two backend transports to one shape for the
@@ -36,6 +42,58 @@ func newMemHubForBench() *benchHubIface {
 			h.Drain(1)
 			h.Drain(2)
 		},
+	}
+}
+
+// Cancellation is the per-packet cost an AP pays for every packet the
+// hub ships to it (reconstruct-and-subtract, Section 7.1d). The pair
+// below contrasts the heap path with the reusable-workspace path so the
+// CI benchmark gate can watch both.
+
+func benchCancelSetup(b *testing.B) (rx [][]complex128, payload []byte, v cmplxmat.Vector, est phy.LinkEstimate, dur int) {
+	b.Helper()
+	w := channel.NewWorld(channel.DefaultParams(), 8)
+	tx := w.AddNode(0, 0)
+	rcv := w.AddNode(4, 0)
+	m := radio.NewMedium(w, 1e6, 0.001, 9)
+	est = phy.EstimateLink(m, tx, rcv, 4)
+	rng := rand.New(rand.NewSource(10))
+	payload = make([]byte, 1500)
+	rng.Read(payload)
+	v = cmplxmat.RandomGaussianVector(rng, 2).Normalize()
+	burst := radio.Burst{From: tx, Start: 0, Samples: phy.PrecodeFrame(payload, v, 1)}
+	dur = burst.Len()
+	rx = m.Receive(rcv, dur, []radio.Burst{burst})
+	return rx, payload, v, est, dur
+}
+
+// BenchmarkHubPacketCancelHeap is the "before" shape: every shared
+// packet reconstructs and cancels into freshly allocated antenna buffers.
+func BenchmarkHubPacketCancelHeap(b *testing.B) {
+	rx, payload, v, est, dur := benchCancelSetup(b)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recon := phy.ReconstructAtReceiver(payload, v, 1, est.H, est.CFO, 1e6, 0, dur)
+		phy.Cancel(rx, recon)
+	}
+}
+
+// BenchmarkHubPacketCancelWorkspace is the "after" shape: the same
+// reconstruct-and-subtract on one reusable workspace — zero steady-state
+// heap allocations per shared packet.
+func BenchmarkHubPacketCancelWorkspace(b *testing.B) {
+	rx, payload, v, est, dur := benchCancelSetup(b)
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		recon := phy.ReconstructAtReceiverWS(ws, payload, v, 1, est.H, est.CFO, 1e6, 0, dur)
+		phy.CancelWS(ws, rx, recon)
 	}
 }
 

@@ -90,6 +90,10 @@ type World struct {
 	params Params
 	rng    *rand.Rand
 	nodes  []*Node
+	// epoch counts channel-state mutations (Redraw, MoveNode, Perturb).
+	// Layers that memoize per-pair channel matrices or estimates key
+	// their caches on it and drop everything when it moves.
+	epoch uint64
 	// phys maps a canonical pair to the physical propagation matrix P for
 	// the lo->hi direction (hi.Antennas x lo.Antennas). The hi->lo channel
 	// is P^T by electromagnetic reciprocity.
@@ -116,6 +120,12 @@ func NewWorld(params Params, seed int64) *World {
 
 // Params returns the world's configuration.
 func (w *World) Params() Params { return w.params }
+
+// Epoch returns the world's channel-state epoch: it increments whenever
+// any pair's fading changes (Redraw, MoveNode, Perturb), so cached
+// channel matrices, estimates, and plans derived from them are valid
+// exactly while the epoch stands still.
+func (w *World) Epoch() uint64 { return w.epoch }
 
 // Nodes returns the nodes in creation order. The slice is shared; treat it
 // as read-only.
@@ -231,6 +241,7 @@ func (w *World) CFO(tx, rx *Node) float64 { return tx.oscHz - rx.oscHz }
 // Redraw replaces the fading realization of the pair (new multipath
 // state), keeping geometry, shadowing and hardware chains fixed.
 func (w *World) Redraw(a, b *Node) {
+	w.epoch++
 	delete(w.phys, keyOf(a, b))
 }
 
@@ -238,6 +249,7 @@ func (w *World) Redraw(a, b *Node) {
 // pair involving n. The paper's reciprocity experiment moves the client
 // between calibration and use (Section 10.4).
 func (w *World) MoveNode(n *Node, x, y float64) {
+	w.epoch++
 	n.X, n.Y = x, y
 	for k := range w.phys {
 		if k.lo == n.ID || k.hi == n.ID {
@@ -258,6 +270,7 @@ func (w *World) Perturb(eps float64) {
 	if eps < 0 || eps > 1 {
 		panic("channel: Perturb eps out of [0,1]")
 	}
+	w.epoch++
 	keep := math.Sqrt(1 - eps*eps)
 	for k, p := range w.phys {
 		var a, b *Node

@@ -2,72 +2,23 @@ package cmplxmat
 
 import (
 	"errors"
-	"math/cmplx"
 )
 
 // ErrSingular is returned when a matrix is singular (or numerically so)
 // and the requested decomposition does not exist.
 var ErrSingular = errors.New("cmplxmat: matrix is singular")
 
-// luDecompose computes an in-place LU factorization with partial pivoting
-// of a copy of m. It returns the packed LU matrix, the permutation, and the
-// sign-tracking swap count. A zero pivot reports singularity via ok=false
-// but still returns the partial factorization (useful for rank).
-func (m *Matrix) luDecompose() (lu *Matrix, perm []int, swaps int, ok bool) {
-	m.mustSquare()
-	n := m.rows
-	lu = m.Clone()
-	perm = make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
-	ok = true
-	for k := 0; k < n; k++ {
-		// Partial pivot: pick the largest magnitude in column k.
-		p, best := k, cmplx.Abs(lu.data[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if a := cmplx.Abs(lu.data[i*n+k]); a > best {
-				p, best = i, a
-			}
-		}
-		if best == 0 {
-			ok = false
-			continue
-		}
-		if p != k {
-			for j := 0; j < n; j++ {
-				lu.data[k*n+j], lu.data[p*n+j] = lu.data[p*n+j], lu.data[k*n+j]
-			}
-			perm[k], perm[p] = perm[p], perm[k]
-			swaps++
-		}
-		piv := lu.data[k*n+k]
-		for i := k + 1; i < n; i++ {
-			f := lu.data[i*n+k] / piv
-			lu.data[i*n+k] = f
-			for j := k + 1; j < n; j++ {
-				lu.data[i*n+j] -= f * lu.data[k*n+j]
-			}
-		}
-	}
-	return lu, perm, swaps, ok
-}
+// The heap-allocating decomposition methods below are wrappers over the
+// workspace variants in workspace_ops.go: per-call temporaries (the
+// packed LU copy, pivot permutations, elimination scratch) come from a
+// pooled Workspace, and only the result the caller keeps is allocated on
+// the heap. See the Workspace doc for the arena's reuse rules.
 
 // Det returns the determinant of a square matrix.
 func (m *Matrix) Det() complex128 {
-	lu, _, swaps, ok := m.luDecompose()
-	if !ok {
-		return 0
-	}
-	n := m.rows
-	det := complex(1, 0)
-	if swaps%2 == 1 {
-		det = -det
-	}
-	for i := 0; i < n; i++ {
-		det *= lu.data[i*n+i]
-	}
-	return det
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return m.DetWS(ws)
 }
 
 // Solve returns x such that m*x = b using LU with partial pivoting.
@@ -77,27 +28,14 @@ func (m *Matrix) Solve(b Vector) (Vector, error) {
 	if len(b) != m.rows {
 		panic("cmplxmat: Solve dimension mismatch")
 	}
-	lu, perm, _, ok := m.luDecompose()
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	lu, perm, _, ok := m.luDecomposeWS(ws)
 	if !ok {
 		return nil, ErrSingular
 	}
-	n := m.rows
-	// Apply permutation to b, then forward/back substitution.
-	x := NewVector(n)
-	for i := 0; i < n; i++ {
-		x[i] = b[perm[i]]
-	}
-	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			x[i] -= lu.data[i*n+j] * x[j]
-		}
-	}
-	for i := n - 1; i >= 0; i-- {
-		for j := i + 1; j < n; j++ {
-			x[i] -= lu.data[i*n+j] * x[j]
-		}
-		x[i] /= lu.data[i*n+i]
-	}
+	x := NewVector(m.rows)
+	luSolveInto(lu, perm, b, x)
 	return x, nil
 }
 
@@ -107,152 +45,38 @@ func (m *Matrix) Solve(b Vector) (Vector, error) {
 // are chosen to be more than half a wavelength apart" (paper, footnote 3);
 // callers should still handle the error for degenerate channels.
 func (m *Matrix) Inverse() (*Matrix, error) {
-	m.mustSquare()
-	n := m.rows
-	lu, perm, _, ok := m.luDecompose()
-	if !ok {
-		return nil, ErrSingular
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	inv, err := m.InverseWS(ws)
+	if err != nil {
+		return nil, err
 	}
-	inv := New(n, n)
-	// Solve for each column of the identity.
-	col := NewVector(n)
-	for c := 0; c < n; c++ {
-		for i := 0; i < n; i++ {
-			if perm[i] == c {
-				col[i] = 1
-			} else {
-				col[i] = 0
-			}
-		}
-		for i := 1; i < n; i++ {
-			for j := 0; j < i; j++ {
-				col[i] -= lu.data[i*n+j] * col[j]
-			}
-		}
-		for i := n - 1; i >= 0; i-- {
-			for j := i + 1; j < n; j++ {
-				col[i] -= lu.data[i*n+j] * col[j]
-			}
-			col[i] /= lu.data[i*n+i]
-		}
-		for i := 0; i < n; i++ {
-			inv.data[i*n+c] = col[i]
-		}
-	}
-	return inv, nil
+	return inv.Clone(), nil
 }
 
 // Rank returns the numerical rank of m with tolerance tol on row-echelon
 // pivot magnitudes (relative to the largest entry of m).
 func (m *Matrix) Rank(tol float64) int {
-	a := m.Clone()
-	rows, cols := a.rows, a.cols
-	scale := a.MaxAbs()
-	if scale == 0 {
-		return 0
-	}
-	thresh := tol * scale
-	rank := 0
-	for col := 0; col < cols && rank < rows; col++ {
-		// Find pivot in this column at or below row `rank`.
-		p, best := -1, thresh
-		for i := rank; i < rows; i++ {
-			if v := cmplx.Abs(a.data[i*cols+col]); v > best {
-				p, best = i, v
-			}
-		}
-		if p < 0 {
-			continue
-		}
-		if p != rank {
-			for j := 0; j < cols; j++ {
-				a.data[rank*cols+j], a.data[p*cols+j] = a.data[p*cols+j], a.data[rank*cols+j]
-			}
-		}
-		piv := a.data[rank*cols+col]
-		for i := rank + 1; i < rows; i++ {
-			f := a.data[i*cols+col] / piv
-			for j := col; j < cols; j++ {
-				a.data[i*cols+j] -= f * a.data[rank*cols+j]
-			}
-		}
-		rank++
-	}
-	return rank
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return m.RankWS(ws, tol)
 }
 
 // NullSpace returns an orthonormal basis of the (right) null space of m:
 // all x with m*x = 0, using Gaussian elimination with the relative pivot
-// tolerance tol. An empty slice means the null space is trivial.
+// tolerance tol. A nil slice means the null space is trivial.
 func (m *Matrix) NullSpace(tol float64) []Vector {
-	rows, cols := m.rows, m.cols
-	a := m.Clone()
-	scale := a.MaxAbs()
-	if scale == 0 {
-		// Zero matrix: the whole space.
-		basis := make([]Vector, cols)
-		for i := range basis {
-			basis[i] = NewVector(cols)
-			basis[i][i] = 1
-		}
-		return basis
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	basis := m.NullSpaceWS(ws, tol)
+	if len(basis) == 0 {
+		return nil
 	}
-	thresh := tol * scale
-	// Reduced row echelon form, tracking pivot columns.
-	pivotCols := make([]int, 0, cols)
-	r := 0
-	for c := 0; c < cols && r < rows; c++ {
-		p, best := -1, thresh
-		for i := r; i < rows; i++ {
-			if v := cmplx.Abs(a.data[i*cols+c]); v > best {
-				p, best = i, v
-			}
-		}
-		if p < 0 {
-			continue
-		}
-		if p != r {
-			for j := 0; j < cols; j++ {
-				a.data[r*cols+j], a.data[p*cols+j] = a.data[p*cols+j], a.data[r*cols+j]
-			}
-		}
-		piv := a.data[r*cols+c]
-		for j := 0; j < cols; j++ {
-			a.data[r*cols+j] /= piv
-		}
-		for i := 0; i < rows; i++ {
-			if i == r {
-				continue
-			}
-			f := a.data[i*cols+c]
-			if f == 0 {
-				continue
-			}
-			for j := 0; j < cols; j++ {
-				a.data[i*cols+j] -= f * a.data[r*cols+j]
-			}
-		}
-		pivotCols = append(pivotCols, c)
-		r++
+	out := make([]Vector, len(basis))
+	for i, b := range basis {
+		out[i] = b.Clone()
 	}
-	isPivot := make([]bool, cols)
-	for _, c := range pivotCols {
-		isPivot[c] = true
-	}
-	var raw []Vector
-	for c := 0; c < cols; c++ {
-		if isPivot[c] {
-			continue
-		}
-		// Free variable c = 1; solve pivots.
-		x := NewVector(cols)
-		x[c] = 1
-		for ri, pc := range pivotCols {
-			x[pc] = -a.data[ri*cols+c]
-		}
-		raw = append(raw, x)
-	}
-	return OrthonormalBasis(1e-12, raw...)
+	return out
 }
 
 // QR computes a (thin) QR decomposition of m via modified Gram-Schmidt:

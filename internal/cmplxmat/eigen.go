@@ -2,35 +2,26 @@ package cmplxmat
 
 import (
 	"errors"
-	"math"
-	"math/cmplx"
-	"sort"
 )
 
 // ErrEigenFailed is returned when eigenvector extraction does not converge.
 var ErrEigenFailed = errors.New("cmplxmat: eigen computation failed")
 
+// The eigendecomposition entry points below are thin wrappers over the
+// workspace variants in workspace_ops.go: all Jacobi / Faddeev-LeVerrier /
+// inverse-iteration scratch comes from a pooled Workspace, and only the
+// results the caller keeps are copied onto the heap.
+
 // CharPoly returns the characteristic polynomial det(zI - m) of a square
 // matrix using the Faddeev-LeVerrier recursion, in ascending-power form.
 // The result has degree n with leading coefficient 1.
 func (m *Matrix) CharPoly() Poly {
-	m.mustSquare()
-	n := m.rows
-	p := make(Poly, n+1)
-	p[n] = 1
-	// Faddeev-LeVerrier: M_1 = A, c_{n-1} = -tr(M_1);
-	// M_k = A(M_{k-1} + c_{n-k+1} I), c_{n-k} = -tr(M_k)/k.
-	mk := m.Clone()
-	ck := -mk.Trace()
-	p[n-1] = ck
-	for k := 2; k <= n; k++ {
-		// mk = A*(mk + ck*I)
-		t := mk.Add(Identity(n).Scale(ck))
-		mk = m.Mul(t)
-		ck = -mk.Trace() / complex(float64(k), 0)
-		p[n-k] = ck
-	}
-	return p
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	p := m.CharPolyWS(ws)
+	out := make(Poly, len(p))
+	copy(out, p)
+	return out
 }
 
 // Eigenvalues returns all eigenvalues of a square matrix by rooting its
@@ -45,39 +36,13 @@ func (m *Matrix) Eigenvalues() ([]complex128, error) {
 // numerically empty the eigenvalue estimate is refined by one inverse
 // iteration step before giving up.
 func (m *Matrix) Eigenvector(lambda complex128) (Vector, error) {
-	m.mustSquare()
-	n := m.rows
-	shifted := m.Sub(Identity(n).Scale(lambda))
-	scale := m.MaxAbs()
-	if scale == 0 {
-		scale = 1
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	v, err := m.EigenvectorWS(ws, lambda)
+	if err != nil {
+		return nil, err
 	}
-	for _, tol := range []float64{1e-10, 1e-8, 1e-6, 1e-4} {
-		if ns := shifted.NullSpace(tol); len(ns) > 0 {
-			return ns[0], nil
-		}
-	}
-	// Inverse iteration fallback: solve (m - lambda I) x = b repeatedly.
-	// Perturb the shift slightly so the solve does not hit exact singularity.
-	pert := complex(1e-10*scale, 1e-10*scale)
-	shifted = m.Sub(Identity(n).Scale(lambda + pert))
-	x := NewVector(n)
-	for i := range x {
-		x[i] = complex(1/math.Sqrt(float64(n)), 0)
-	}
-	for iter := 0; iter < 50; iter++ {
-		y, err := shifted.Solve(x)
-		if err != nil {
-			return nil, ErrEigenFailed
-		}
-		x = y.Normalize()
-		// Check the residual against the unperturbed matrix.
-		r := m.MulVec(x).Sub(x.Scale(lambda))
-		if r.Norm() < 1e-6*scale {
-			return x, nil
-		}
-	}
-	return nil, ErrEigenFailed
+	return v.Clone(), nil
 }
 
 // AnyEigenvector returns some (eigenvalue, unit eigenvector) pair of a
@@ -85,20 +50,13 @@ func (m *Matrix) Eigenvector(lambda complex128) (Vector, error) {
 // the numerically best conditioned for the alignment products the paper's
 // closed forms use (footnote 4: v4 = eig(H32^-1 H22 H21^-1 H31)).
 func (m *Matrix) AnyEigenvector() (complex128, Vector, error) {
-	vals, err := m.Eigenvalues()
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	lambda, v, err := m.AnyEigenvectorWS(ws)
 	if err != nil {
 		return 0, nil, err
 	}
-	sort.Slice(vals, func(i, j int) bool { return cmplx.Abs(vals[i]) > cmplx.Abs(vals[j]) })
-	var lastErr error
-	for _, lambda := range vals {
-		v, err := m.Eigenvector(lambda)
-		if err == nil {
-			return lambda, v, nil
-		}
-		lastErr = err
-	}
-	return 0, nil, lastErr
+	return lambda, v.Clone(), nil
 }
 
 // EigenHermitian diagonalizes a Hermitian matrix with the cyclic complex
@@ -107,82 +65,12 @@ func (m *Matrix) AnyEigenvector() (complex128, Vector, error) {
 // The input must be Hermitian within tol 1e-9 (relative); it panics
 // otherwise, because silent symmetrization hides caller bugs.
 func (m *Matrix) EigenHermitian() (vals []float64, v *Matrix) {
-	m.mustSquare()
-	n := m.rows
-	scale := m.MaxAbs()
-	if !m.Equal(m.H(), 1e-9*(1+scale)) {
-		panic("cmplxmat: EigenHermitian on a non-Hermitian matrix")
-	}
-	a := m.Clone()
-	v = Identity(n)
-	const maxSweeps = 100
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		var off float64
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				off += cmplx.Abs(a.data[i*n+j])
-			}
-		}
-		if off < 1e-13*(1+scale) {
-			break
-		}
-		for p := 0; p < n; p++ {
-			for q := p + 1; q < n; q++ {
-				apq := a.data[p*n+q]
-				if cmplx.Abs(apq) < 1e-15*(1+scale) {
-					continue
-				}
-				app := real(a.data[p*n+p])
-				aqq := real(a.data[q*n+q])
-				// Complex Jacobi rotation zeroing a[p][q]:
-				// write apq = |apq| e^{i phi}; rotate with phase.
-				absApq := cmplx.Abs(apq)
-				phase := apq / complex(absApq, 0)
-				theta := 0.5 * math.Atan2(2*absApq, app-aqq)
-				c := complex(math.Cos(theta), 0)
-				s := complex(math.Sin(theta), 0) * phase
-				// Apply rotation G on the right (columns p,q) and G^H on
-				// the left (rows p,q) of a; accumulate into v.
-				for k := 0; k < n; k++ {
-					akp := a.data[k*n+p]
-					akq := a.data[k*n+q]
-					a.data[k*n+p] = akp*c + akq*cmplx.Conj(s)
-					a.data[k*n+q] = -akq*c + akp*s
-				}
-				for k := 0; k < n; k++ {
-					apk := a.data[p*n+k]
-					aqk := a.data[q*n+k]
-					a.data[p*n+k] = apk*c + aqk*s
-					a.data[q*n+k] = -aqk*c + apk*cmplx.Conj(s)
-				}
-				for k := 0; k < n; k++ {
-					vkp := v.data[k*n+p]
-					vkq := v.data[k*n+q]
-					v.data[k*n+p] = vkp*c + vkq*cmplx.Conj(s)
-					v.data[k*n+q] = -vkq*c + vkp*s
-				}
-			}
-		}
-	}
-	vals = make([]float64, n)
-	for i := range vals {
-		vals[i] = real(a.data[i*n+i])
-	}
-	// Sort descending, permuting eigenvector columns along.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
-	sortedVals := make([]float64, n)
-	sortedV := New(n, n)
-	for newCol, oldCol := range idx {
-		sortedVals[newCol] = vals[oldCol]
-		for r := 0; r < n; r++ {
-			sortedV.data[r*n+newCol] = v.data[r*n+oldCol]
-		}
-	}
-	return sortedVals, sortedV
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	wsVals, wsV := m.EigenHermitianWS(ws)
+	vals = make([]float64, len(wsVals))
+	copy(vals, wsVals)
+	return vals, wsV.Clone()
 }
 
 // SVD computes the singular value decomposition m = U * diag(s) * V^H of
@@ -196,61 +84,10 @@ func (m *Matrix) EigenHermitian() (vals []float64, v *Matrix) {
 // point-to-point MIMO (Tse & Viswanath, used by the paper's comparison
 // scheme [2]).
 func (m *Matrix) SVD() (u *Matrix, s []float64, v *Matrix) {
-	rows, cols := m.rows, m.cols
-	k := rows
-	if cols < k {
-		k = cols
-	}
-	gram := m.H().Mul(m) // cols x cols Hermitian PSD
-	evals, evecs := gram.EigenHermitian()
-	s = make([]float64, k)
-	v = New(cols, k)
-	u = New(rows, k)
-	for j := 0; j < k; j++ {
-		ev := evals[j]
-		if ev < 0 {
-			ev = 0 // clamp tiny negative rounding
-		}
-		s[j] = math.Sqrt(ev)
-		vc := evecs.Col(j)
-		for i := 0; i < cols; i++ {
-			v.data[i*k+j] = vc[i]
-		}
-		var uc Vector
-		if s[j] > 1e-12*(1+m.MaxAbs()) {
-			uc = m.MulVec(vc).Scale(complex(1/s[j], 0))
-		} else {
-			uc = NewVector(rows) // null direction; filled below
-		}
-		for i := 0; i < rows; i++ {
-			u.data[i*k+j] = uc[i]
-		}
-	}
-	// Complete null U columns to an orthonormal set.
-	var ucols []Vector
-	for j := 0; j < k; j++ {
-		ucols = append(ucols, u.Col(j))
-	}
-	for j := 0; j < k; j++ {
-		if ucols[j].Norm() > 0.5 {
-			continue
-		}
-		for e := 0; e < rows; e++ {
-			cand := NewVector(rows)
-			cand[e] = 1
-			for jj := 0; jj < k; jj++ {
-				if jj != j && ucols[jj].Norm() > 0.5 {
-					cand = cand.Sub(cand.ProjectOnto(ucols[jj]))
-				}
-			}
-			if cand.Norm() > 1e-6 {
-				ucols[j] = cand.Normalize()
-				for i := 0; i < rows; i++ {
-					u.data[i*k+j] = ucols[j][i]
-				}
-				break
-			}
-		}
-	}
-	return u, s, v
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	wsU, wsS, wsV := m.SVDWS(ws)
+	s = make([]float64, len(wsS))
+	copy(s, wsS)
+	return wsU.Clone(), s, wsV.Clone()
 }

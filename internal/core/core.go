@@ -105,14 +105,37 @@ type Plan struct {
 // NumPackets returns the number of concurrent packets in the plan.
 func (p *Plan) NumPackets() int { return len(p.Owner) }
 
+// Clone returns a deep heap copy of p, detaching it from any workspace
+// arena or shared layout table its slices may reference. The solvers'
+// *WS variants return arena-backed candidate plans; the role-assignment
+// search clones only the winner.
+func (p *Plan) Clone() *Plan {
+	q := &Plan{M: p.M, Wired: p.Wired}
+	q.Owner = append([]int(nil), p.Owner...)
+	q.Encoding = make([]cmplxmat.Vector, len(p.Encoding))
+	for i, v := range p.Encoding {
+		q.Encoding[i] = v.Clone()
+	}
+	q.Schedule = make([]DecodeStep, len(p.Schedule))
+	for i, st := range p.Schedule {
+		q.Schedule[i] = DecodeStep{Rx: st.Rx, Packets: append([]int(nil), st.Packets...)}
+	}
+	return q
+}
+
 // Validate checks structural invariants: every packet appears exactly once
 // in the schedule, owners are in range, and encoding vectors have the
 // right dimension and are unit norm.
 func (p *Plan) Validate() error {
+	return p.validateWith(make([]bool, len(p.Owner)))
+}
+
+// validateWith is Validate with caller-provided (usually workspace-backed)
+// seen scratch of length NumPackets.
+func (p *Plan) validateWith(seen []bool) error {
 	if len(p.Encoding) != len(p.Owner) {
 		return fmt.Errorf("core: %d encodings for %d packets", len(p.Encoding), len(p.Owner))
 	}
-	seen := make([]bool, len(p.Owner))
 	for _, step := range p.Schedule {
 		for _, pkt := range step.Packets {
 			if pkt < 0 || pkt >= len(p.Owner) {
@@ -145,15 +168,35 @@ func (p *Plan) Validate() error {
 // comparison with point-to-point MIMO fair: a node radiates nodePower
 // total regardless of how many concurrent packets it carries.
 func (p *Plan) PacketPowers(nodePower float64) []float64 {
-	counts := map[int]int{}
+	out := make([]float64, len(p.Owner))
+	p.packetPowersInto(out, nodePower)
+	return out
+}
+
+// packetPowersInto fills out (length NumPackets) with the per-packet
+// powers without allocating: owner indices are small and dense, so the
+// count pass runs over a fixed-size array.
+func (p *Plan) packetPowersInto(out []float64, nodePower float64) {
+	maxOwner := 0
+	for _, o := range p.Owner {
+		if o > maxOwner {
+			maxOwner = o
+		}
+	}
+	var countsArr [8]int
+	counts := countsArr[:]
+	if maxOwner >= len(counts) {
+		counts = make([]int, maxOwner+1)
+	} else {
+		counts = counts[:maxOwner+1]
+		clear(counts)
+	}
 	for _, o := range p.Owner {
 		counts[o]++
 	}
-	out := make([]float64, len(p.Owner))
 	for i, o := range p.Owner {
 		out[i] = nodePower / float64(counts[o])
 	}
-	return out
 }
 
 // ErrInfeasible is returned when a solver cannot produce the requested
@@ -167,6 +210,16 @@ func randUnit(rng *rand.Rand, m int) cmplxmat.Vector {
 		v := cmplxmat.RandomGaussianVector(rng, m)
 		if v.Norm() > 1e-6 {
 			return v.Normalize()
+		}
+	}
+}
+
+// randUnitWS is randUnit with the vector in the workspace arena.
+func randUnitWS(ws *cmplxmat.Workspace, rng *rand.Rand, m int) cmplxmat.Vector {
+	for {
+		v := cmplxmat.RandomGaussianVectorWS(ws, rng, m)
+		if v.Norm() > 1e-6 {
+			return v.NormalizeWS(ws)
 		}
 	}
 }
@@ -297,29 +350,53 @@ type Evaluation struct {
 // error leaves residual interference — the same imperfection the paper's
 // implementation faces (Section 8a).
 func (p *Plan) Evaluate(trueCS, estCS ChannelSet, nodePower, noise float64) (Evaluation, error) {
-	if err := p.Validate(); err != nil {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	wev, err := p.EvaluateWS(ws, trueCS, estCS, nodePower, noise)
+	if err != nil {
 		return Evaluation{}, err
 	}
-	k := p.NumPackets()
+	// Deep-copy out of the arena: the caller keeps the evaluation.
 	ev := Evaluation{
-		SINR:       make([]float64, k),
-		PacketRate: make([]float64, k),
-		Decoding:   make([]cmplxmat.Vector, k),
+		SINR:       append([]float64(nil), wev.SINR...),
+		PacketRate: append([]float64(nil), wev.PacketRate...),
+		SumRate:    wev.SumRate,
+		Decoding:   make([]cmplxmat.Vector, len(wev.Decoding)),
 	}
-	powers := p.PacketPowers(nodePower)
-	decoded := map[int]bool{}
+	for i, d := range wev.Decoding {
+		ev.Decoding[i] = d.Clone()
+	}
+	return ev, nil
+}
+
+// EvaluateWS is Evaluate with every temporary and the returned evaluation
+// in the workspace arena — the form the slot-planning hot loop calls
+// between Mark/Release pairs. The result is valid until the workspace is
+// reset; copy anything that must outlive it.
+func (p *Plan) EvaluateWS(ws *cmplxmat.Workspace, trueCS, estCS ChannelSet, nodePower, noise float64) (Evaluation, error) {
+	k := p.NumPackets()
+	if err := p.validateWith(ws.Bools(k)); err != nil {
+		return Evaluation{}, err
+	}
+	ev := Evaluation{
+		SINR:       ws.Floats(k),
+		PacketRate: ws.Floats(k),
+		Decoding:   ws.Vectors(k),
+	}
+	powers := ws.Floats(k)
+	p.packetPowersInto(powers, nodePower)
+	decoded := ws.Bools(k)
+	residual := ws.Ints(k)
+	interfDirs := ws.Vectors(k)
 	for _, step := range p.Schedule {
-		inStep := map[int]bool{}
-		for _, pkt := range step.Packets {
-			inStep[pkt] = true
-		}
 		// Residual packets at this receiver: everything not cancelled.
-		var residual []int
+		nRes := 0
 		for pkt := range p.Owner {
 			if p.Wired && decoded[pkt] {
 				continue // cancelled via backend
 			}
-			residual = append(residual, pkt)
+			residual[nRes] = pkt
+			nRes++
 		}
 		for _, pkt := range step.Packets {
 			// Decoding vector: project the estimated signal direction off
@@ -329,16 +406,17 @@ func (p *Plan) Evaluate(trueCS, estCS ChannelSet, nodePower, noise float64) (Eva
 			// M-1 dimensions, the nulled principal subspace suppresses
 			// the strongest interference first (Section 8a: slight
 			// estimation inaccuracy only leaves residual interference).
-			var interfDirs []cmplxmat.Vector
-			for _, q := range residual {
+			nInt := 0
+			for _, q := range residual[:nRes] {
 				if q == pkt {
 					continue
 				}
-				d := estCS[p.Owner[q]][step.Rx].MulVec(p.Encoding[q])
-				interfDirs = append(interfDirs, d.Scale(complex(math.Sqrt(powers[q]), 0)))
+				d := estCS[p.Owner[q]][step.Rx].MulVecWS(ws, p.Encoding[q])
+				interfDirs[nInt] = d.ScaleWS(ws, complex(math.Sqrt(powers[q]), 0))
+				nInt++
 			}
-			sigDir := estCS[p.Owner[pkt]][step.Rx].MulVec(p.Encoding[pkt])
-			w := zfDecodingVector(sigDir, interfDirs, p.M)
+			sigDir := estCS[p.Owner[pkt]][step.Rx].MulVecWS(ws, p.Encoding[pkt])
+			w := zfDecodingVectorWS(ws, sigDir, interfDirs[:nInt], p.M)
 			if w == nil {
 				return Evaluation{}, fmt.Errorf("%w: no decoding vector for packet %d at rx %d", ErrInfeasible, pkt, step.Rx)
 			}
@@ -346,13 +424,13 @@ func (p *Plan) Evaluate(trueCS, estCS ChannelSet, nodePower, noise float64) (Eva
 
 			// True post-projection powers.
 			hTrue := trueCS[p.Owner[pkt]][step.Rx]
-			sig := cmplxAbs2(w.Dot(hTrue.MulVec(p.Encoding[pkt]))) * powers[pkt]
+			sig := cmplxAbs2(w.Dot(hTrue.MulVecWS(ws, p.Encoding[pkt]))) * powers[pkt]
 			interf := 0.0
-			for _, q := range residual {
+			for _, q := range residual[:nRes] {
 				if q == pkt {
 					continue
 				}
-				d := trueCS[p.Owner[q]][step.Rx].MulVec(p.Encoding[q])
+				d := trueCS[p.Owner[q]][step.Rx].MulVecWS(ws, p.Encoding[q])
 				interf += cmplxAbs2(w.Dot(d)) * powers[q]
 			}
 			// Cancellation residual: packets subtracted using estimated
@@ -362,8 +440,8 @@ func (p *Plan) Evaluate(trueCS, estCS ChannelSet, nodePower, noise float64) (Eva
 					if !decoded[q] {
 						continue
 					}
-					diff := trueCS[p.Owner[q]][step.Rx].Sub(estCS[p.Owner[q]][step.Rx])
-					interf += cmplxAbs2(w.Dot(diff.MulVec(p.Encoding[q]))) * powers[q]
+					diff := trueCS[p.Owner[q]][step.Rx].SubWS(ws, estCS[p.Owner[q]][step.Rx])
+					interf += cmplxAbs2(w.Dot(diff.MulVecWS(ws, p.Encoding[q]))) * powers[q]
 				}
 			}
 			sinr := sig / (noise + interf)
@@ -391,33 +469,37 @@ func cmplxAbs2(c complex128) float64 {
 // dimensions and this reduces to the paper's orthogonal projection; with
 // estimation noise it nulls the strongest M-1 principal components, the
 // least-squares interference suppressor.
-func zfDecodingVector(sigDir cmplxmat.Vector, interf []cmplxmat.Vector, m int) cmplxmat.Vector {
+func zfDecodingVectorWS(ws *cmplxmat.Workspace, sigDir cmplxmat.Vector, interf []cmplxmat.Vector, m int) cmplxmat.Vector {
 	if sigDir.Norm() == 0 {
 		return nil
 	}
 	var basis []cmplxmat.Vector
 	switch {
 	case len(interf) == 0:
-		return sigDir.Normalize() // matched filter: no interference
+		return sigDir.NormalizeWS(ws) // matched filter: no interference
 	case len(interf) <= m-1:
-		basis = cmplxmat.OrthonormalBasis(1e-12, interf...)
+		basis = cmplxmat.OrthonormalBasisWS(ws, 1e-12, interf)
 	default:
 		// Principal components of the stacked interference matrix: null
 		// the strongest m-1 directions.
-		u, s, _ := cmplxmat.FromColumns(interf...).SVD()
+		u, s, _ := cmplxmat.FromColumnsWS(ws, interf).SVDWS(ws)
+		pcs := ws.Vectors(m - 1)
+		n := 0
 		for j := 0; j < m-1 && j < len(s); j++ {
 			if s[j] <= 1e-12*s[0] {
 				break
 			}
-			basis = append(basis, u.Col(j))
+			pcs[n] = u.ColWS(ws, j)
+			n++
 		}
+		basis = pcs[:n]
 	}
-	w := sigDir.Clone()
+	w := sigDir.CloneWS(ws)
 	for _, b := range basis {
-		w = w.Sub(w.ProjectOnto(b))
+		w = w.SubWS(ws, w.ProjectOntoWS(ws, b))
 	}
 	if w.Norm() < 1e-9*sigDir.Norm() {
 		return nil
 	}
-	return w.Normalize()
+	return w.NormalizeWS(ws)
 }

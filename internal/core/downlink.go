@@ -26,12 +26,37 @@ import (
 // an eigenvector of (H[1][2] A)^-1 (H[0][2] B) — the closed form of the
 // paper's footnote 4 transplanted to the downlink.
 func SolveDownlinkTriangle(cs ChannelSet) (*Plan, error) {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	plan, err := SolveDownlinkTriangleWS(ws, cs)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Clone(), nil
+}
+
+// The triangle's packet layout is fixed; the shared read-only slices are
+// referenced by every candidate plan and deep-copied only on Clone.
+var (
+	triangleOwners   = []int{0, 1, 2}
+	triangleSchedule = []DecodeStep{
+		{Rx: 0, Packets: []int{0}},
+		{Rx: 1, Packets: []int{1}},
+		{Rx: 2, Packets: []int{2}},
+	}
+)
+
+// SolveDownlinkTriangleWS is SolveDownlinkTriangle with the intermediate
+// linear algebra AND the returned plan in the workspace arena (its
+// layout slices are shared read-only tables). Callers that keep the plan
+// past the workspace's lifetime must Clone it.
+func SolveDownlinkTriangleWS(ws *cmplxmat.Workspace, cs ChannelSet) (*Plan, error) {
 	if cs.NumTx() != 3 || cs.NumRx() != 3 {
 		return nil, fmt.Errorf("core: triangle needs 3 APs and 3 clients, got %dx%d", cs.NumTx(), cs.NumRx())
 	}
 	m := cs.Antennas()
 	inv := func(x *cmplxmat.Matrix) (*cmplxmat.Matrix, error) {
-		i, err := x.Inverse()
+		i, err := x.InverseWS(ws)
 		if err != nil {
 			return nil, fmt.Errorf("%w: singular downlink channel", ErrInfeasible)
 		}
@@ -41,34 +66,32 @@ func SolveDownlinkTriangle(cs ChannelSet) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := h10Inv.Mul(cs[2][0])
+	a := h10Inv.MulWS(ws, cs[2][0])
 	h01Inv, err := inv(cs[0][1])
 	if err != nil {
 		return nil, err
 	}
-	b := h01Inv.Mul(cs[2][1])
-	lhs := cs[1][2].Mul(a)
+	b := h01Inv.MulWS(ws, cs[2][1])
+	lhs := cs[1][2].MulWS(ws, a)
 	lhsInv, err := inv(lhs)
 	if err != nil {
 		return nil, err
 	}
-	prod := lhsInv.Mul(cs[0][2].Mul(b))
-	_, v2, err := prod.AnyEigenvector()
+	prod := lhsInv.MulWS(ws, cs[0][2].MulWS(ws, b))
+	_, v2, err := prod.AnyEigenvectorWS(ws)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}
-	v1 := a.MulVec(v2).Normalize()
-	v0 := b.MulVec(v2).Normalize()
+	v1 := a.MulVecWS(ws, v2).NormalizeWS(ws)
+	v0 := b.MulVecWS(ws, v2).NormalizeWS(ws)
+	enc := ws.Vectors(3)
+	enc[0], enc[1], enc[2] = v0, v1, v2.NormalizeWS(ws)
 	plan := &Plan{
 		M:        m,
-		Owner:    []int{0, 1, 2},
-		Encoding: []cmplxmat.Vector{v0, v1, v2.Normalize()},
-		Schedule: []DecodeStep{
-			{Rx: 0, Packets: []int{0}},
-			{Rx: 1, Packets: []int{1}},
-			{Rx: 2, Packets: []int{2}},
-		},
-		Wired: false,
+		Owner:    triangleOwners,
+		Encoding: enc,
+		Schedule: triangleSchedule,
+		Wired:    false,
 	}
 	return plan, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"iaclan/internal/cmplxmat"
@@ -18,32 +19,56 @@ import (
 // matrices (any antenna count M >= 2 works; the construction only uses
 // one aligned pair).
 func SolveUplinkThree(cs ChannelSet, rng *rand.Rand) (*Plan, error) {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	plan, err := SolveUplinkThreeWS(ws, cs, rng)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Clone(), nil
+}
+
+// uplinkThree's packet layout is fixed; the shared read-only slices are
+// referenced by every candidate plan and deep-copied only on Clone.
+var (
+	uplinkThreeOwners   = []int{0, 0, 1}
+	uplinkThreeSchedule = []DecodeStep{
+		{Rx: 0, Packets: []int{0}},
+		{Rx: 1, Packets: []int{1, 2}},
+	}
+)
+
+// SolveUplinkThreeWS is SolveUplinkThree with the intermediate linear
+// algebra AND the returned plan in the workspace arena (its layout
+// slices are shared read-only tables). Callers that keep the plan past
+// the workspace's lifetime must Clone it; the role-assignment search
+// clones only winners.
+func SolveUplinkThreeWS(ws *cmplxmat.Workspace, cs ChannelSet, rng *rand.Rand) (*Plan, error) {
 	if cs.NumTx() != 2 || cs.NumRx() != 2 {
 		return nil, fmt.Errorf("core: SolveUplinkThree needs 2 clients and 2 APs, got %dx%d", cs.NumTx(), cs.NumRx())
 	}
 	m := cs.Antennas()
-	v1 := randUnit(rng, m)
-	h10Inv, err := cs[1][0].Inverse()
+	v1 := randUnitWS(ws, rng, m)
+	h10Inv, err := cs[1][0].InverseWS(ws)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}
 	// Eq. 2: v2 = H10^-1 * H00 * v1 aligns packets 1 and 2 at AP 0.
-	v2 := h10Inv.Mul(cs[0][0]).MulVec(v1).Normalize()
+	v2 := h10Inv.MulWS(ws, cs[0][0]).MulVecWS(ws, v1).NormalizeWS(ws)
 	// Packet 0's vector is unconstrained; beamform it at AP 0's decoding
 	// direction (the complement of the aligned interference) instead of
 	// sending it blindly. This is transmit matched filtering — part of
 	// the diversity headroom the paper observes beyond the analytic
 	// multiplexing gain (Section 10.1).
-	v0 := matchedFreeVector(cs[0][0], cs[0][0].MulVec(v1), rng)
+	v0 := matchedFreeVectorWS(ws, cs[0][0], cs[0][0].MulVecWS(ws, v1), rng)
+	enc := ws.Vectors(3)
+	enc[0], enc[1], enc[2] = v0, v1, v2
 	plan := &Plan{
 		M:        m,
-		Owner:    []int{0, 0, 1},
-		Encoding: []cmplxmat.Vector{v0, v1, v2},
-		Schedule: []DecodeStep{
-			{Rx: 0, Packets: []int{0}},
-			{Rx: 1, Packets: []int{1, 2}},
-		},
-		Wired: true,
+		Owner:    uplinkThreeOwners,
+		Encoding: enc,
+		Schedule: uplinkThreeSchedule,
+		Wired:    true,
 	}
 	return plan, nil
 }
@@ -145,6 +170,49 @@ func (a UplinkChainAssignment) BSet() []int {
 //  4. Packet 0's vector is random; its AP-0 direction is generically
 //     outside the subspace, so AP 0 decodes it by orthogonal projection.
 func SolveUplinkChain(cs ChannelSet, rng *rand.Rand) (*Plan, error) {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	plan, err := SolveUplinkChainWS(ws, cs, rng)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Clone(), nil
+}
+
+// chainLayout caches the chain construction's deterministic packet
+// layout per antenna count. The slices are shared read-only across
+// candidate plans and deep-copied only when a winner is cloned.
+type chainLayout struct {
+	owners, aSet, bSet []int
+	schedule           []DecodeStep
+}
+
+func makeChainLayout(m int) chainLayout {
+	asgn := UplinkChainAssignment{M: m}
+	l := chainLayout{owners: asgn.Owners(), aSet: asgn.ASet(), bSet: asgn.BSet()}
+	l.schedule = []DecodeStep{
+		{Rx: 0, Packets: []int{0}},
+		{Rx: 1, Packets: l.bSet},
+		{Rx: 2, Packets: l.aSet},
+	}
+	return l
+}
+
+// chainLayouts covers every antenna count the package targets (2x2 to
+// 8x8 arrays); larger M falls back to building the layout per call.
+var chainLayouts = func() map[int]chainLayout {
+	out := map[int]chainLayout{}
+	for m := 2; m <= 8; m++ {
+		out[m] = makeChainLayout(m)
+	}
+	return out
+}()
+
+// SolveUplinkChainWS is SolveUplinkChain with the intermediate linear
+// algebra AND the returned plan in the workspace arena (its layout
+// slices are shared read-only tables). Callers that keep the plan past
+// the workspace's lifetime must Clone it.
+func SolveUplinkChainWS(ws *cmplxmat.Workspace, cs ChannelSet, rng *rand.Rand) (*Plan, error) {
 	m := cs.Antennas()
 	if m < 2 {
 		return nil, fmt.Errorf("core: chain construction needs M >= 2")
@@ -156,93 +224,92 @@ func SolveUplinkChain(cs ChannelSet, rng *rand.Rand) (*Plan, error) {
 	if cs.NumRx() != 3 {
 		return nil, fmt.Errorf("core: chain construction needs 3 APs, got %d", cs.NumRx())
 	}
-	owners := asgn.Owners()
-	aSet := asgn.ASet()
-	bSet := asgn.BSet()
+	layout, ok := chainLayouts[m]
+	if !ok {
+		layout = makeChainLayout(m)
+	}
+	owners, aSet, bSet := layout.owners, layout.aSet, layout.bSet
 
 	// Step 1: G_a per aligned packet.
-	g := make([]*cmplxmat.Matrix, len(aSet))
+	gs := make([]*cmplxmat.Matrix, len(aSet))
 	for i, a := range aSet {
-		inv, err := cs[owners[a]][1].Inverse()
+		inv, err := cs[owners[a]][1].InverseWS(ws)
 		if err != nil {
 			return nil, fmt.Errorf("%w: H[%d][1] singular", ErrInfeasible, owners[a])
 		}
-		g[i] = cs[owners[a]][0].Mul(inv)
+		gs[i] = cs[owners[a]][0].MulWS(ws, inv)
 	}
 
 	// Step 2: root of det[G_1 d, ..., G_M d] = 0 along d = x + t*y.
-	d, err := dependentDirection(g, rng)
+	d, err := dependentDirectionWS(ws, gs, rng)
 	if err != nil {
 		return nil, err
 	}
 
-	enc := make([]cmplxmat.Vector, 2*m)
+	enc := ws.Vectors(2 * m)
 	// Aligned packets.
-	ap0Dirs := make([]cmplxmat.Vector, 0, m)
+	ap0Dirs := ws.Vectors(m)[:0]
 	for i, a := range aSet {
-		inv, _ := cs[owners[a]][1].Inverse() // invertibility checked above
-		enc[a] = inv.MulVec(d).Normalize()
-		ap0Dirs = append(ap0Dirs, g[i].MulVec(d))
+		inv, _ := cs[owners[a]][1].InverseWS(ws) // invertibility checked above
+		enc[a] = inv.MulVecWS(ws, d).NormalizeWS(ws)
+		ap0Dirs = append(ap0Dirs, gs[i].MulVecWS(ws, d))
 	}
 
 	// Step 3: normal of the aligned subspace at AP 0.
-	basis := cmplxmat.OrthonormalBasis(1e-9, ap0Dirs...)
+	basis := cmplxmat.OrthonormalBasisWS(ws, 1e-9, ap0Dirs)
 	if len(basis) != m-1 {
 		return nil, fmt.Errorf("%w: aligned subspace has dim %d, want %d", ErrInfeasible, len(basis), m-1)
 	}
-	u1 := cmplxmat.OrthogonalComplementVector(m, 1e-9, basis...)
+	u1 := cmplxmat.OrthogonalComplementVectorWS(ws, m, 1e-9, basis)
 	if u1 == nil {
 		return nil, fmt.Errorf("%w: no subspace normal", ErrInfeasible)
 	}
 
 	// B-set packets: v_b in the null space of the row u1^H * H[c(b)][0].
 	for _, b := range bSet {
-		row := cmplxmat.New(1, m)
+		row := ws.Matrix(1, m)
 		hb := cs[owners[b]][0]
 		for j := 0; j < m; j++ {
-			row.SetAt(0, j, u1.Dot(hb.Col(j)))
+			row.SetAt(0, j, u1.Dot(hb.ColWS(ws, j)))
 		}
-		ns := row.NullSpace(1e-9)
+		ns := row.NullSpaceWS(ws, 1e-9)
 		if len(ns) == 0 {
 			return nil, fmt.Errorf("%w: empty null space for packet %d", ErrInfeasible, b)
 		}
 		// Random combination within the null space avoids pathological
 		// overlaps between B-set directions at AP 1.
-		v := cmplxmat.NewVector(m)
+		v := ws.Vector(m)
 		for _, n := range ns {
-			c := cmplxmat.RandomGaussianVector(rng, 1)[0]
-			v = v.Add(n.Scale(c))
+			c := complex(rng.NormFloat64()/math.Sqrt2, rng.NormFloat64()/math.Sqrt2)
+			v = v.AddWS(ws, n.ScaleWS(ws, c))
 		}
-		enc[b] = v.Normalize()
+		enc[b] = v.NormalizeWS(ws)
 	}
 
 	// Packet 0: beamformed at AP 0's decoding direction u1 (the normal of
 	// the aligned subspace): v0 = H^H u1 maximizes |u1^H H v0|.
-	enc[0] = cs[owners[0]][0].H().MulVec(u1).Normalize()
+	enc[0] = cs[owners[0]][0].HWS(ws).MulVecWS(ws, u1).NormalizeWS(ws)
 	if enc[0].Norm() == 0 {
-		enc[0] = randUnit(rng, m)
+		enc[0] = randUnitWS(ws, rng, m)
 	}
 
 	plan := &Plan{
 		M:        m,
 		Owner:    owners,
 		Encoding: enc,
-		Schedule: []DecodeStep{
-			{Rx: 0, Packets: []int{0}},
-			{Rx: 1, Packets: bSet},
-			{Rx: 2, Packets: aSet},
-		},
-		Wired: true,
+		Schedule: layout.schedule,
+		Wired:    true,
 	}
 	return plan, nil
 }
 
-// dependentDirection finds a nonzero d with det[g[0]d, ..., g[k-1]d] = 0,
+// dependentDirectionWS finds a nonzero d with det[g[0]d, ..., g[k-1]d] = 0,
 // where k = len(g) equals the matrix dimension. It parametrizes d along a
 // random complex line, interpolates the degree-k determinant polynomial
 // from k+1 point evaluations, and roots it with Durand-Kerner. Roots are
-// screened so the resulting column family has rank exactly k-1.
-func dependentDirection(g []*cmplxmat.Matrix, rng *rand.Rand) (cmplxmat.Vector, error) {
+// screened so the resulting column family has rank exactly k-1. The
+// returned direction is workspace-backed.
+func dependentDirectionWS(ws *cmplxmat.Workspace, g []*cmplxmat.Matrix, rng *rand.Rand) (cmplxmat.Vector, error) {
 	m := g[0].Rows()
 	if len(g) != m {
 		return nil, fmt.Errorf("core: need %d matrices for dimension %d, got %d", m, m, len(g))
@@ -251,23 +318,23 @@ func dependentDirection(g []*cmplxmat.Matrix, rng *rand.Rand) (cmplxmat.Vector, 
 		return nil, fmt.Errorf("%w: no nontrivial dependence in dimension 1", ErrInfeasible)
 	}
 	detAt := func(d cmplxmat.Vector) complex128 {
-		cols := make([]cmplxmat.Vector, m)
+		cols := ws.Vectors(m)
 		for i := range g {
-			cols[i] = g[i].MulVec(d)
+			cols[i] = g[i].MulVecWS(ws, d)
 		}
-		return cmplxmat.FromColumns(cols...).Det()
+		return cmplxmat.FromColumnsWS(ws, cols).DetWS(ws)
 	}
 	const maxAttempts = 8
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		x := cmplxmat.RandomGaussianVector(rng, m)
-		y := cmplxmat.RandomGaussianVector(rng, m)
+		x := cmplxmat.RandomGaussianVectorWS(ws, rng, m)
+		y := cmplxmat.RandomGaussianVectorWS(ws, rng, m)
 		// Sample at m+1 points and interpolate the degree-m polynomial.
-		ts := make([]complex128, m+1)
-		vals := make([]complex128, m+1)
+		ts := ws.Complexes(m + 1)
+		vals := ws.Complexes(m + 1)
 		for i := range ts {
 			// Deterministic, well-separated sample points.
 			ts[i] = complex(float64(i)-float64(m)/2, float64(i%2)+0.5)
-			vals[i] = detAt(x.Add(y.Scale(ts[i])))
+			vals[i] = detAt(x.AddWS(ws, y.ScaleWS(ws, ts[i])))
 		}
 		poly := cmplxmat.InterpolatePoly(ts, vals)
 		roots, err := poly.Roots()
@@ -275,17 +342,16 @@ func dependentDirection(g []*cmplxmat.Matrix, rng *rand.Rand) (cmplxmat.Vector, 
 			continue
 		}
 		for _, t := range roots {
-			d := x.Add(y.Scale(t))
+			d := x.AddWS(ws, y.ScaleWS(ws, t))
 			if d.Norm() < 1e-9 {
 				continue
 			}
-			d = d.Normalize()
-			cols := make([]cmplxmat.Vector, m)
+			d = d.NormalizeWS(ws)
+			cols := ws.Vectors(m)
 			for i := range g {
-				cols[i] = g[i].MulVec(d)
+				cols[i] = g[i].MulVecWS(ws, d)
 			}
-			mat := cmplxmat.FromColumns(cols...)
-			if mat.Rank(1e-7) == m-1 {
+			if cmplxmat.FromColumnsWS(ws, cols).RankWS(ws, 1e-7) == m-1 {
 				return d, nil
 			}
 		}
@@ -293,21 +359,23 @@ func dependentDirection(g []*cmplxmat.Matrix, rng *rand.Rand) (cmplxmat.Vector, 
 	return nil, fmt.Errorf("%w: no dependent direction found", ErrInfeasible)
 }
 
-// matchedFreeVector beamforms an unconstrained packet at the projection
+// matchedFreeVectorWS beamforms an unconstrained packet at the projection
 // direction its receiver will use: given the channel h and the aligned
 // interference direction d at that receiver, the receiver projects on
 // w = complement(d), and the transmit vector maximizing |w^H h v| is
 // v = h^H w (transmit matched filter). Falls back to a random vector for
-// degenerate channels.
-func matchedFreeVector(h *cmplxmat.Matrix, alignedDir cmplxmat.Vector, rng *rand.Rand) cmplxmat.Vector {
+// degenerate channels. The returned vector is workspace-backed.
+func matchedFreeVectorWS(ws *cmplxmat.Workspace, h *cmplxmat.Matrix, alignedDir cmplxmat.Vector, rng *rand.Rand) cmplxmat.Vector {
 	m := h.Rows()
-	w := cmplxmat.OrthogonalComplementVector(m, 1e-12, alignedDir)
+	single := ws.Vectors(1)
+	single[0] = alignedDir
+	w := cmplxmat.OrthogonalComplementVectorWS(ws, m, 1e-12, single)
 	if w == nil {
-		return randUnit(rng, m)
+		return randUnitWS(ws, rng, m)
 	}
-	v := h.H().MulVec(w)
+	v := h.HWS(ws).MulVecWS(ws, w)
 	if v.Norm() < 1e-12 {
-		return randUnit(rng, m)
+		return randUnitWS(ws, rng, m)
 	}
-	return v.Normalize()
+	return v.NormalizeWS(ws)
 }

@@ -13,6 +13,7 @@ import (
 	"iaclan/internal/mac"
 	"iaclan/internal/phy"
 	"iaclan/internal/radio"
+	"iaclan/internal/sig"
 )
 
 const analyticSNR = 1000 // 30 dB, high-SNR regime of the DoF results
@@ -99,7 +100,12 @@ func FreqOffset(cfg Config) (Result, error) {
 		PaperClaim: "signals remain aligned through the end of the packet despite different offsets",
 		Metrics:    map[string]float64{},
 	}
+	// The whole sweep runs on one pooled sample-plane workspace: precode,
+	// receive, and projection buffers are reused across CFO settings.
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
 	for _, cfoStd := range []float64{0, 200, 800, 2000} {
+		ws.Reset()
 		p := channel.DefaultParams()
 		p.CFOStdHz = cfoStd
 		p.ShadowSigmaDB = 0
@@ -123,15 +129,17 @@ func FreqOffset(cfg Config) (Result, error) {
 		}
 		payload := make([]byte, 1500) // the paper's 1500-byte payloads
 		rng.Read(payload)
+		frame := sig.FrameSamples(payload)
 		bursts := []radio.Burst{
-			{From: c0, Samples: phy.PrecodeFrame(payload, plan.Encoding[1], 1)},
-			{From: c1, Samples: phy.PrecodeFrame(payload, plan.Encoding[2], 1)},
+			{From: c0, Samples: phy.PrecodeSamplesWS(ws, frame, plan.Encoding[1], 1)},
+			{From: c1, Samples: phy.PrecodeSamplesWS(ws, frame, plan.Encoding[2], 1)},
 		}
 		dur := bursts[0].Len()
-		y := m.Receive(ap, dur, bursts)
+		y := ws.AntSamples(ap.Antennas, dur)
+		m.ReceiveInto(y, ap, bursts)
 		d1 := cs[0][0].MulVec(plan.Encoding[1])
 		wv := cmplxmat.OrthogonalComplementVector(2, 1e-9, d1)
-		z := phy.Project(y, wv)
+		z := phy.ProjectWS(ws, y, wv)
 		var leak, rxMag float64
 		for t := range z {
 			if a := cmplx.Abs(z[t]); a > leak {

@@ -76,6 +76,11 @@ type Simulator struct {
 	// pendingAcks collects (client, success) outcomes of the current CFP
 	// for the next beacon's ack map.
 	pendingAcks []ackEntry
+	// viewBuf and servedBuf are per-CFP scratch reused across cycles so
+	// the steady-state CFP loop stays off the heap. The ack map itself
+	// is allocated fresh per beacon (it escapes into the Beacon).
+	viewBuf   []ClientID
+	servedBuf map[ClientID]bool
 }
 
 type queuedPacket struct {
@@ -141,28 +146,39 @@ func (s *Simulator) Slots() int { return s.slots }
 // packet to each client that has pending traffic"), then CF-End and the
 // constant contention period. It returns the beacon that opened the CFP.
 func (s *Simulator) RunCFP() Beacon {
-	// Build the beacon's ack map from the previous CFP.
+	// Build the beacon's ack map from the previous CFP, sized up front so
+	// it is the cycle's single allocation.
 	var ackMap []byte
 	for i, e := range s.pendingAcks {
 		if e.ok {
+			if ackMap == nil {
+				ackMap = make([]byte, 0, (len(s.pendingAcks)-1)/8+1)
+			}
 			ackMap = SetAckBit(ackMap, i)
 		}
 	}
-	s.pendingAcks = nil
+	s.pendingAcks = s.pendingAcks[:0]
 	beacon := Beacon{AckMap: ackMap}
 	s.beacons++
 
-	served := map[ClientID]bool{}
+	if s.servedBuf == nil {
+		s.servedBuf = make(map[ClientID]bool)
+	} else {
+		clear(s.servedBuf)
+	}
+	served := s.servedBuf
 	var cfpSlots int
 	for {
 		// Eligible queue view: packets from clients not yet served this
-		// CFP, in FIFO order.
-		var view []ClientID
+		// CFP, in FIFO order. The view buffer is reused across cycles;
+		// pickers only read it during PickGroup.
+		view := s.viewBuf[:0]
 		for _, qp := range s.queue {
 			if !served[qp.client] {
 				view = append(view, qp.client)
 			}
 		}
+		s.viewBuf = view
 		if len(view) == 0 {
 			break
 		}

@@ -13,7 +13,6 @@ package mimo
 
 import (
 	"math"
-	"sort"
 
 	"iaclan/internal/cmplxmat"
 	"iaclan/internal/stats"
@@ -26,40 +25,55 @@ import (
 // nonnegative; channels with zero gain never receive power.
 func Waterfill(gains []float64, totalPower float64) []float64 {
 	powers := make([]float64, len(gains))
+	waterfillInto(powers, gains, totalPower, make([]int, len(gains)))
+	return powers
+}
+
+// waterfillInto is Waterfill writing into caller-provided buffers: powers
+// receives the per-channel allocation and idx is index scratch of the
+// same length (both usually workspace-backed).
+func waterfillInto(powers, gains []float64, totalPower float64, idx []int) {
+	for i := range powers {
+		powers[i] = 0
+	}
 	if totalPower <= 0 {
-		return powers
+		return
 	}
-	// Sort candidate channels by descending gain, then find the largest
-	// active set whose water level keeps every member positive.
-	type ch struct {
-		idx  int
-		gain float64
-	}
-	var act []ch
+	// Collect candidate channels and order them by descending gain
+	// (insertion sort: stream counts are the antenna count, <= 8), then
+	// find the largest active set whose water level keeps every member
+	// positive.
+	n := 0
 	for i, g := range gains {
 		if g > 0 {
-			act = append(act, ch{i, g})
+			idx[n] = i
+			n++
 		}
 	}
-	if len(act) == 0 {
-		return powers
+	if n == 0 {
+		return
 	}
-	sort.Slice(act, func(i, j int) bool { return act[i].gain > act[j].gain })
-	for n := len(act); n > 0; n-- {
-		// Water level mu solves sum_{i<n} (mu - 1/g_i) = totalPower.
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && gains[idx[j-1]] < gains[idx[j]] {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	for k := n; k > 0; k-- {
+		// Water level mu solves sum_{i<k} (mu - 1/g_i) = totalPower.
 		var invSum float64
-		for i := 0; i < n; i++ {
-			invSum += 1 / act[i].gain
+		for i := 0; i < k; i++ {
+			invSum += 1 / gains[idx[i]]
 		}
-		mu := (totalPower + invSum) / float64(n)
-		if p := mu - 1/act[n-1].gain; p > 0 {
-			for i := 0; i < n; i++ {
-				powers[act[i].idx] = mu - 1/act[i].gain
+		mu := (totalPower + invSum) / float64(k)
+		if p := mu - 1/gains[idx[k-1]]; p > 0 {
+			for i := 0; i < k; i++ {
+				powers[idx[i]] = mu - 1/gains[idx[i]]
 			}
 			break
 		}
 	}
-	return powers
 }
 
 // Precoding holds a complete eigenmode transmission plan for one link.
@@ -100,26 +114,62 @@ func (p Precoding) Rate() float64 {
 // Eigenmode computes the optimal point-to-point precoding for the channel
 // h under a total transmit power budget and the given receiver noise.
 func Eigenmode(h *cmplxmat.Matrix, totalPower, noise float64) Precoding {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	wp := EigenmodeWS(ws, h, totalPower, noise)
+	// Deep-copy out of the arena: the caller keeps the plan.
+	p := Precoding{
+		TxVectors: make([]cmplxmat.Vector, len(wp.TxVectors)),
+		RxVectors: make([]cmplxmat.Vector, len(wp.RxVectors)),
+		Powers:    append([]float64(nil), wp.Powers...),
+		Gains:     append([]float64(nil), wp.Gains...),
+	}
+	for j := range wp.TxVectors {
+		p.TxVectors[j] = wp.TxVectors[j].Clone()
+		p.RxVectors[j] = wp.RxVectors[j].Clone()
+	}
+	return p
+}
+
+// EigenmodeWS is Eigenmode with the whole plan — singular vectors,
+// waterfilled powers, gains — in the workspace arena. The result is valid
+// until the workspace is reset; callers that only need the rate should
+// use EigenmodeRateWS, which releases its scratch before returning.
+func EigenmodeWS(ws *cmplxmat.Workspace, h *cmplxmat.Matrix, totalPower, noise float64) Precoding {
 	if noise <= 0 {
 		panic("mimo: noise must be positive")
 	}
-	u, s, v := h.SVD()
-	gains := make([]float64, len(s))
+	u, s, v := h.SVDWS(ws)
+	gains := ws.Floats(len(s))
 	for i, sv := range s {
 		gains[i] = sv * sv / noise
 	}
-	powers := Waterfill(gains, totalPower)
+	powers := ws.Floats(len(s))
+	waterfillInto(powers, gains, totalPower, ws.Ints(len(s)))
 	p := Precoding{Powers: powers, Gains: gains}
+	tx := ws.Vectors(len(s))
+	rx := ws.Vectors(len(s))
 	for j := range s {
-		p.TxVectors = append(p.TxVectors, v.Col(j))
-		p.RxVectors = append(p.RxVectors, u.Col(j))
+		tx[j] = v.ColWS(ws, j)
+		rx[j] = u.ColWS(ws, j)
 	}
+	p.TxVectors, p.RxVectors = tx, rx
 	return p
 }
 
 // EigenmodeRate is a convenience wrapper returning just the rate.
 func EigenmodeRate(h *cmplxmat.Matrix, totalPower, noise float64) float64 {
-	return Eigenmode(h, totalPower, noise).Rate()
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	return EigenmodeRateWS(ws, h, totalPower, noise)
+}
+
+// EigenmodeRateWS computes the eigenmode sum rate using only workspace
+// scratch, releasing everything it allocated before returning.
+func EigenmodeRateWS(ws *cmplxmat.Workspace, h *cmplxmat.Matrix, totalPower, noise float64) float64 {
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	return EigenmodeWS(ws, h, totalPower, noise).Rate()
 }
 
 // EqualPowerRate returns the rate with equal power across all eigenmodes,
@@ -153,12 +203,20 @@ func EqualPowerRate(h *cmplxmat.Matrix, totalPower, noise float64) float64 {
 // SNR". It returns the winning index and its rate. channels must be
 // non-empty.
 func BestAP(channels []*cmplxmat.Matrix, totalPower, noise float64) (int, float64) {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	return BestAPWS(ws, channels, totalPower, noise)
+}
+
+// BestAPWS is BestAP over workspace scratch, releasing everything it
+// allocated before returning.
+func BestAPWS(ws *cmplxmat.Workspace, channels []*cmplxmat.Matrix, totalPower, noise float64) (int, float64) {
 	if len(channels) == 0 {
 		panic("mimo: BestAP with no channels")
 	}
 	bestIdx, bestRate := 0, math.Inf(-1)
 	for i, h := range channels {
-		if r := EigenmodeRate(h, totalPower, noise); r > bestRate {
+		if r := EigenmodeRateWS(ws, h, totalPower, noise); r > bestRate {
 			bestIdx, bestRate = i, r
 		}
 	}

@@ -49,14 +49,8 @@ func Project(rx [][]complex128, w cmplxmat.Vector) []complex128 {
 	if len(rx) != w.Dim() {
 		panic("phy: projection dimension mismatch")
 	}
-	n := len(rx[0])
-	out := make([]complex128, n)
-	for a := range rx {
-		cw := cmplx.Conj(w[a])
-		for t := 0; t < n; t++ {
-			out[t] += cw * rx[a][t]
-		}
-	}
+	out := make([]complex128, len(rx[0]))
+	projectInto(out, rx, w)
 	return out
 }
 
@@ -150,23 +144,12 @@ func (errNoPacket) Error() string { return "phy: no packet detected" }
 // function ... it can reconstruct the corresponding continuous signal").
 func ReconstructAtReceiver(payload []byte, v cmplxmat.Vector, amp float64, hEst *cmplxmat.Matrix, cfoHz, sampleRate float64, start, dur int) [][]complex128 {
 	s := sig.FrameSamples(payload)
-	mAnt := hEst.Rows()
-	out := make([][]complex128, mAnt)
+	out := make([][]complex128, hEst.Rows())
 	for a := range out {
 		out[a] = make([]complex128, dur)
 	}
 	hv := hEst.MulVec(v).Scale(complex(amp, 0))
-	w := 2 * math.Pi * cfoHz / sampleRate
-	for t := range s {
-		rt := start + t
-		if rt < 0 || rt >= dur {
-			continue
-		}
-		rot := cmplx.Exp(complex(0, w*float64(rt)))
-		for a := 0; a < mAnt; a++ {
-			out[a][rt] += hv[a] * s[t] * rot
-		}
-	}
+	reconstructInto(out, s, hv, 2*math.Pi*cfoHz/sampleRate, start)
 	return out
 }
 
@@ -180,29 +163,11 @@ func Cancel(rx, recon [][]complex128) (residual [][]complex128, alpha complex128
 	if len(rx) != len(recon) {
 		panic("phy: Cancel antenna count mismatch")
 	}
-	var num complex128
-	var den float64
-	for a := range rx {
-		if len(rx[a]) != len(recon[a]) {
-			panic("phy: Cancel length mismatch")
-		}
-		for t := range rx[a] {
-			num += cmplx.Conj(recon[a][t]) * rx[a][t]
-			den += real(recon[a][t])*real(recon[a][t]) + imag(recon[a][t])*imag(recon[a][t])
-		}
-	}
-	if den == 0 {
-		alpha = 0
-	} else {
-		alpha = num / complex(den, 0)
-	}
 	residual = make([][]complex128, len(rx))
 	for a := range rx {
 		residual[a] = make([]complex128, len(rx[a]))
-		for t := range rx[a] {
-			residual[a][t] = rx[a][t] - alpha*recon[a][t]
-		}
 	}
+	alpha = cancelInto(residual, rx, recon)
 	return residual, alpha
 }
 
@@ -220,20 +185,42 @@ func CancelWithJitterSearch(rx [][]complex128, payload []byte, v cmplxmat.Vector
 	frameLen := sig.FrameLenBits(len(payload))
 	winLo := clampIdx(nominalStart+sig.PreambleBits, 0, dur)
 	winHi := clampIdx(nominalStart+frameLen, 0, dur)
+
+	// The whole search runs on two reusable workspace buffers: the frame
+	// samples and the channel product are computed once, each offset's
+	// reconstruction and residual overwrite the same arena rows, and only
+	// the winning residual is copied out to the heap.
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	s := frameSamplesWS(ws, payload)
+	hv := hEst.MulVecWS(ws.Mat, v).ScaleWS(ws.Mat, complex(amp, 0))
+	w := 2 * math.Pi * cfoHz / sampleRate
+	mAnt := len(rx)
+	recon := ws.AntSamples(mAnt, dur)
+	res := ws.AntSamples(mAnt, dur)
+	best := ws.AntSamples(mAnt, dur)
+
 	bestEnergy := math.Inf(1)
-	var bestResidual [][]complex128
 	bestStart := nominalStart
 	for d := -maxJitter; d <= maxJitter; d++ {
-		recon := ReconstructAtReceiver(payload, v, amp, hEst, cfoHz, sampleRate, nominalStart+d, dur)
-		res, _ := Cancel(rx, recon)
+		for a := range recon {
+			clear(recon[a])
+		}
+		reconstructInto(recon, s, hv, w, nominalStart+d)
+		cancelInto(res, rx, recon)
 		e := windowEnergy(res, winLo, winHi)
 		if e < bestEnergy {
 			bestEnergy = e
-			bestResidual = res
 			bestStart = nominalStart + d
+			res, best = best, res
 		}
 	}
-	return bestResidual, bestStart
+	out := make([][]complex128, mAnt)
+	for a := range out {
+		out[a] = make([]complex128, dur)
+		copy(out[a], best[a])
+	}
+	return out, bestStart
 }
 
 func clampIdx(x, lo, hi int) int {

@@ -1,0 +1,120 @@
+package phy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/sig"
+)
+
+func TestFrameSamplesWSMatchesSig(t *testing.T) {
+	ws := NewWorkspace()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 17, 256} {
+		payload := make([]byte, n)
+		rng.Read(payload)
+		got := frameSamplesWS(ws, payload)
+		want := sig.FrameSamples(payload)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frameSamplesWS diverged for %d-byte payload", n)
+		}
+		ws.Reset()
+	}
+}
+
+func TestWorkspaceSamplePlaneMatchesHeapPlane(t *testing.T) {
+	ws := NewWorkspace()
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]byte, 64)
+	rng.Read(payload)
+	v := cmplxmat.RandomGaussianVector(rng, 2).Normalize()
+	h := cmplxmat.RandomGaussian(rng, 2, 2)
+	s := sig.FrameSamples(payload)
+
+	txHeap := PrecodeSamples(s, v, 0.7)
+	txWS := PrecodeSamplesWS(ws, s, v, 0.7)
+	if !reflect.DeepEqual(txHeap, txWS) {
+		t.Fatal("PrecodeSamplesWS diverged from PrecodeSamples")
+	}
+
+	w := cmplxmat.RandomGaussianVector(rng, 2).Normalize()
+	if !reflect.DeepEqual(Project(txHeap, w), ProjectWS(ws, txWS, w)) {
+		t.Fatal("ProjectWS diverged from Project")
+	}
+
+	dur := len(s) + 20
+	reconHeap := ReconstructAtReceiver(payload, v, 0.7, h, 120, 1e6, 10, dur)
+	reconWS := ReconstructAtReceiverWS(ws, payload, v, 0.7, h, 120, 1e6, 10, dur)
+	if !reflect.DeepEqual(reconHeap, reconWS) {
+		t.Fatal("ReconstructAtReceiverWS diverged from ReconstructAtReceiver")
+	}
+
+	rx := make([][]complex128, 2)
+	for a := range rx {
+		rx[a] = make([]complex128, dur)
+		for i := range rx[a] {
+			rx[a][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	resHeap, alphaHeap := Cancel(rx, reconHeap)
+	resWS, alphaWS := CancelWS(ws, rx, reconWS)
+	if alphaHeap != alphaWS || !reflect.DeepEqual(resHeap, resWS) {
+		t.Fatal("CancelWS diverged from Cancel")
+	}
+}
+
+func TestAntSamplesContiguousAndZeroed(t *testing.T) {
+	ws := NewWorkspace()
+	buf := ws.AntSamples(3, 100)
+	if len(buf) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(buf))
+	}
+	for a, row := range buf {
+		if len(row) != 100 {
+			t.Fatalf("row %d has length %d", a, len(row))
+		}
+		for i, x := range row {
+			if x != 0 {
+				t.Fatalf("row %d sample %d not zeroed: %v", a, i, x)
+			}
+		}
+	}
+	// Rows stride one flat block: row a+1 begins where row a's backing
+	// array ends.
+	r0 := buf[0][:cap(buf[0])]
+	r1 := buf[1]
+	if &r0[len(r0)-1] == nil || &r1[0] == nil {
+		t.Fatal("unexpected nil row")
+	}
+	// Writing one row must not bleed into its neighbors.
+	for i := range buf[1] {
+		buf[1][i] = 9
+	}
+	for _, a := range []int{0, 2} {
+		for i, x := range buf[a] {
+			if x != 0 {
+				t.Fatalf("row %d sample %d dirtied by neighbor write: %v", a, i, x)
+			}
+		}
+	}
+}
+
+func TestWorkspacePoolZeroesBetweenUsers(t *testing.T) {
+	ws := GetWorkspace()
+	buf := ws.AntSamples(2, 32)
+	buf[0][0] = 1
+	buf[1][31] = 1
+	PutWorkspace(ws)
+	ws2 := GetWorkspace()
+	defer PutWorkspace(ws2)
+	buf2 := ws2.AntSamples(2, 32)
+	for a := range buf2 {
+		for i, x := range buf2[a] {
+			if x != 0 {
+				t.Fatalf("pooled sample buffer leaked state at [%d][%d]: %v", a, i, x)
+			}
+		}
+	}
+}

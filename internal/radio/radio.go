@@ -66,10 +66,32 @@ func NewMedium(w *channel.World, sampleRate, noisePower float64, seed int64) *Me
 // Bursts from rx itself are ignored (a radio cannot hear itself while
 // transmitting).
 func (m *Medium) Receive(rx *channel.Node, dur int, bursts []Burst) [][]complex128 {
-	mAnt := rx.Antennas
-	out := make([][]complex128, mAnt)
+	out := make([][]complex128, rx.Antennas)
 	for a := range out {
 		out[a] = make([]complex128, dur)
+	}
+	m.ReceiveInto(out, rx, bursts)
+	return out
+}
+
+// ReceiveInto is Receive writing into a caller-provided buffer — usually
+// antenna-strided workspace rows (phy.Workspace.AntSamples) so a receive
+// chain can run without heap allocation. dst must have rx.Antennas rows
+// of equal length (the observation window), zeroed; the observation is
+// accumulated into it.
+func (m *Medium) ReceiveInto(dst [][]complex128, rx *channel.Node, bursts []Burst) {
+	mAnt := rx.Antennas
+	if len(dst) != mAnt {
+		panic("radio: ReceiveInto antenna count mismatch")
+	}
+	dur := 0
+	if mAnt > 0 {
+		dur = len(dst[0])
+	}
+	for _, row := range dst {
+		if len(row) != dur {
+			panic("radio: ReceiveInto ragged destination rows")
+		}
 	}
 	for _, b := range bursts {
 		if b.From.ID == rx.ID || b.Len() == 0 {
@@ -92,17 +114,16 @@ func (m *Medium) Receive(rx *channel.Node, dur int, bursts []Burst) [][]complex1
 				for c := 0; c < b.From.Antennas; c++ {
 					acc += h.At(r, c) * b.Samples[c][t]
 				}
-				out[r][rt] += acc * rot
+				dst[r][rt] += acc * rot
 			}
 		}
 	}
 	if m.NoisePower > 0 {
 		sigma := math.Sqrt(m.NoisePower / 2)
-		for a := range out {
-			for t := range out[a] {
-				out[a][t] += complex(m.rng.NormFloat64()*sigma, m.rng.NormFloat64()*sigma)
+		for a := range dst {
+			for t := range dst[a] {
+				dst[a][t] += complex(m.rng.NormFloat64()*sigma, m.rng.NormFloat64()*sigma)
 			}
 		}
 	}
-	return out
 }

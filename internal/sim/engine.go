@@ -3,11 +3,12 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"iaclan/internal/backend"
 	"iaclan/internal/channel"
 	"iaclan/internal/mac"
+	"iaclan/internal/phy"
 	"iaclan/internal/stats"
 	"iaclan/internal/testbed"
 )
@@ -16,6 +17,13 @@ import (
 // One suffices for the serve-once-per-CFP discipline; the second covers
 // the retry a loss re-appends, so saturated queues never run dry.
 const saturatedDepth = 2
+
+// arrival is one pending packet birth, sorted into true arrival order
+// across clients before enqueueing.
+type arrival struct {
+	born   float64
+	client int
+}
 
 // groupOutcome caches one transmission group's planned slot result so
 // the rate estimator (called combinatorially by the pickers) and the
@@ -37,13 +45,28 @@ type engine struct {
 	rng      *rand.Rand
 	sim      *mac.Simulator
 	hub      *backend.MemHub
-	cache    map[groupKey]groupOutcome
 	payload  []byte
 	seq      uint32
 
+	// ws is the trial's sample-plane workspace: every slot plan and
+	// evaluation runs its linear algebra on this arena, borrowed from
+	// the process-wide pool for the trial's lifetime.
+	ws *phy.Workspace
+	// chans memoizes per-(tx,rx) channel matrices, training estimates,
+	// and per-client baseline rates, keyed by the world's channel epoch.
+	chans *testbed.SlotCache
+	// cache memoizes each transmission group's planned outcome — the
+	// precoding/zero-forcing work the combinatorial pickers would
+	// otherwise redo per candidate evaluation. cacheEpoch tracks the
+	// world epoch the entries were planned under; a fading change drops
+	// them all.
+	cache      map[groupKey]groupOutcome
+	cacheEpoch uint64
+
 	// Per-client traffic state.
-	gens []Generator
-	next []float64 // next arrival time in slots (timed workloads)
+	gens  []Generator
+	next  []float64 // next arrival time in slots (timed workloads)
+	batch []arrival // reusable arrival-sorting scratch
 
 	// Per-client accounting (index = scenario client index).
 	pending   []int
@@ -78,6 +101,8 @@ func newEngine(cfg Config) (*engine, error) {
 		rateSum:   make([]float64, cfg.Clients),
 		lat:       make([][]float64, cfg.Clients),
 	}
+	e.chans = testbed.NewSlotCache(e.scenario)
+	e.cacheEpoch = e.scenario.World.Epoch()
 	for i := range e.gens {
 		g, err := cfg.Workload.NewGenerator()
 		if err != nil {
@@ -124,6 +149,11 @@ func Run(cfg Config) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
+	// The trial borrows a warm workspace for its whole lifetime; every
+	// slot plan and evaluation runs on this arena. Allocation-on-reuse is
+	// zeroed, so pooled reuse cannot change results.
+	e.ws = phy.GetWorkspace()
+	defer phy.PutWorkspace(e.ws)
 	for c := 0; c < cfg.Cycles; c++ {
 		e.cycle()
 	}
@@ -160,22 +190,23 @@ func (e *engine) generate() {
 		}
 		return
 	}
-	type arrival struct {
-		born   float64
-		client int
-	}
-	var batch []arrival
+	batch := e.batch[:0]
 	for i := range e.gens {
 		for e.next[i] <= now {
 			batch = append(batch, arrival{born: e.next[i], client: i})
 			e.next[i] += e.gens[i].Next(e.rng)
 		}
 	}
-	sort.Slice(batch, func(a, b int) bool {
-		if batch[a].born != batch[b].born {
-			return batch[a].born < batch[b].born
+	e.batch = batch
+	slices.SortFunc(batch, func(a, b arrival) int {
+		switch {
+		case a.born < b.born:
+			return -1
+		case a.born > b.born:
+			return 1
+		default:
+			return a.client - b.client
 		}
-		return batch[a].client < batch[b].client
 	})
 	for _, ar := range batch {
 		i := ar.client
@@ -255,6 +286,14 @@ func makeGroupKey(group []mac.ClientID) groupKey {
 }
 
 func (e *engine) outcome(group []mac.ClientID) groupOutcome {
+	// Invalidation rule: group plans are valid exactly as long as the
+	// world's channel state; any fading mutation bumps the epoch and
+	// drops every memoized outcome (the SlotCache invalidates itself the
+	// same way).
+	if ep := e.scenario.World.Epoch(); ep != e.cacheEpoch {
+		clear(e.cache)
+		e.cacheEpoch = ep
+	}
 	k := makeGroupKey(group)
 	if out, ok := e.cache[k]; ok {
 		return out
@@ -290,23 +329,23 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	switch {
 	case e.cfg.Uplink && len(idx) == 3 && na >= 3:
 		sub.APs = e.scenario.APs[:3]
-		res, err = testbed.RunUplinkSlot(sub, 0, e.rng)
+		res, err = testbed.RunUplinkSlotWS(e.ws, e.chans, sub, 0, e.rng)
 	case e.cfg.Uplink && len(idx) == 2 && na >= 2:
 		sub.APs = e.scenario.APs[:2]
-		res, err = testbed.RunUplinkSlot(sub, 0, e.rng)
+		res, err = testbed.RunUplinkSlotWS(e.ws, e.chans, sub, 0, e.rng)
 	case !e.cfg.Uplink && len(idx) == 3 && na >= 3:
 		sub.APs = e.scenario.APs[:3]
-		res, err = testbed.RunDownlinkSlot(sub, e.rng)
+		res, err = testbed.RunDownlinkSlotWS(e.ws, e.chans, sub, e.rng)
 	case !e.cfg.Uplink && len(idx) == 1 && na >= 2 && e.cfg.GroupSize > 1:
 		sub.APs = e.scenario.APs[:2]
-		res, err = testbed.RunDownlinkSlot(sub, e.rng)
+		res, err = testbed.RunDownlinkSlotWS(e.ws, e.chans, sub, e.rng)
 	default:
 		head := idx[0]
 		var r float64
 		if e.cfg.Uplink {
-			r = testbed.BaselineUplinkRate(e.scenario, head)
+			r = e.chans.BaselineUplinkRate(head)
 		} else {
-			r = testbed.BaselineDownlinkRate(e.scenario, head)
+			r = e.chans.BaselineDownlinkRate(head)
 		}
 		return groupOutcome{ok: true, sumRate: r, perClient: map[int]float64{head: r}, packets: 1}
 	}

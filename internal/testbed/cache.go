@@ -1,0 +1,132 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+
+	"iaclan/internal/channel"
+	"iaclan/internal/cmplxmat"
+	"iaclan/internal/mimo"
+)
+
+// SlotCache memoizes the per-(tx,rx) quantities slot planning derives
+// from a scenario's channel state: measured channel matrices (which cost
+// two hardware-chain multiplications per lookup in the world), training
+// estimates (one noise draw per pair), and per-client best-AP baseline
+// rates (one SVD per AP). The combinatorial group pickers evaluate the
+// same pairs across hundreds of candidate groups per contention-free
+// period; with the cache, each eigendecomposition the planner needs runs
+// once per channel epoch instead of once per candidate.
+//
+// Invalidation rule: every memo is keyed by the world's channel-state
+// epoch (channel.World.Epoch). Any fading mutation — Redraw, MoveNode,
+// Perturb — bumps the epoch, and the next lookup drops every cached
+// entry. Within one epoch a pair's estimate is drawn once and reused, so
+// all slots planned in that epoch see one consistent channel survey,
+// like APs sharing a measurement round over the wired backend.
+//
+// A SlotCache is scoped to one scenario (its AP set anchors the baseline
+// rates) and is not safe for concurrent use; each simulation trial owns
+// one, which keeps sharded trial sweeps bit-identical to serial runs.
+type SlotCache struct {
+	scenario Scenario
+	epoch    uint64
+	chans    map[chanKey]*cmplxmat.Matrix
+	ests     map[chanKey]*cmplxmat.Matrix
+	base     map[baseKey]float64
+}
+
+// chanKey identifies a directed transmitter->receiver pair by node ID.
+type chanKey struct{ tx, rx int }
+
+// baseKey identifies a per-client baseline-rate memo.
+type baseKey struct {
+	client int
+	uplink bool
+}
+
+// NewSlotCache creates an empty cache bound to the scenario's world and
+// AP set.
+func NewSlotCache(s Scenario) *SlotCache {
+	return &SlotCache{
+		scenario: s,
+		epoch:    s.World.Epoch(),
+		chans:    map[chanKey]*cmplxmat.Matrix{},
+		ests:     map[chanKey]*cmplxmat.Matrix{},
+		base:     map[baseKey]float64{},
+	}
+}
+
+// ensure drops every memo when the world's channel epoch has moved.
+func (c *SlotCache) ensure() {
+	if e := c.scenario.World.Epoch(); e != c.epoch {
+		clear(c.chans)
+		clear(c.ests)
+		clear(c.base)
+		c.epoch = e
+	}
+}
+
+// Channel returns the measured tx->rx channel matrix, computing it on
+// first use per epoch. The returned matrix is shared; treat it as
+// read-only (the package convention for all channel matrices).
+func (c *SlotCache) Channel(tx, rx *channel.Node) *cmplxmat.Matrix {
+	c.ensure()
+	k := chanKey{tx.ID, rx.ID}
+	if h, ok := c.chans[k]; ok {
+		return h
+	}
+	h := c.scenario.World.Channel(tx, rx)
+	c.chans[k] = h
+	return h
+}
+
+// Estimated returns the training-noise-corrupted estimate of the tx->rx
+// channel, drawing the estimation noise from rng once per pair per epoch.
+func (c *SlotCache) Estimated(tx, rx *channel.Node, rng *rand.Rand) *cmplxmat.Matrix {
+	c.ensure()
+	k := chanKey{tx.ID, rx.ID}
+	if h, ok := c.ests[k]; ok {
+		return h
+	}
+	h := channel.NoisyEstimate(c.Channel(tx, rx), channel.EstimationSigma(TrainSymbols), rng)
+	c.ests[k] = h
+	return h
+}
+
+// BaselineUplinkRate is BaselineUplinkRate for the cache's scenario,
+// memoized per client per epoch. The underlying best-AP eigenmode search
+// runs on workspace scratch, so a warm cache answers without allocating.
+func (c *SlotCache) BaselineUplinkRate(client int) float64 {
+	return c.baselineRate(client, true)
+}
+
+// BaselineDownlinkRate is BaselineDownlinkRate for the cache's scenario,
+// memoized per client per epoch.
+func (c *SlotCache) BaselineDownlinkRate(client int) float64 {
+	return c.baselineRate(client, false)
+}
+
+func (c *SlotCache) baselineRate(client int, uplink bool) float64 {
+	c.ensure()
+	k := baseKey{client, uplink}
+	if r, ok := c.base[k]; ok {
+		return r
+	}
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	best := math.Inf(-1)
+	for _, ap := range c.scenario.APs {
+		var h *cmplxmat.Matrix
+		if uplink {
+			h = c.Channel(c.scenario.Clients[client], ap)
+		} else {
+			h = c.Channel(ap, c.scenario.Clients[client])
+		}
+		if r := mimo.EigenmodeRateWS(ws, h, NodePower, NoisePower); r > best {
+			best = r
+		}
+	}
+	c.base[k] = best
+	return best
+}

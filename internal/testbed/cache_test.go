@@ -1,0 +1,90 @@
+package testbed
+
+import (
+	"math/rand"
+	"testing"
+
+	"iaclan/internal/channel"
+)
+
+func cacheScenario(t *testing.T) Scenario {
+	t.Helper()
+	world := channel.DefaultTestbed(21)
+	return PickScenario(world, 3, 3)
+}
+
+// TestSlotCacheChannelsAndEstimatesAreStable pins the memo contract:
+// within one channel epoch, repeated lookups return the identical matrix
+// (same pointer — no recomputation, no fresh noise draw).
+func TestSlotCacheChannelsAndEstimatesAreStable(t *testing.T) {
+	s := cacheScenario(t)
+	c := NewSlotCache(s)
+	rng := rand.New(rand.NewSource(5))
+	tx, rx := s.Clients[0], s.APs[0]
+	h1 := c.Channel(tx, rx)
+	h2 := c.Channel(tx, rx)
+	if h1 != h2 {
+		t.Fatal("Channel recomputed within one epoch")
+	}
+	e1 := c.Estimated(tx, rx, rng)
+	e2 := c.Estimated(tx, rx, rng)
+	if e1 != e2 {
+		t.Fatal("Estimated redrew noise within one epoch")
+	}
+	if e1.Equal(h1, 0) {
+		t.Fatal("estimate should carry training noise")
+	}
+	r1 := c.BaselineUplinkRate(0)
+	r2 := c.BaselineUplinkRate(0)
+	if r1 != r2 || r1 <= 0 {
+		t.Fatalf("baseline memo unstable or degenerate: %v vs %v", r1, r2)
+	}
+}
+
+// TestSlotCacheInvalidatesOnEpochChange pins the invalidation rule: any
+// fading mutation bumps the world epoch and the cache must drop every
+// memo (new matrices, fresh estimation noise, recomputed baselines).
+func TestSlotCacheInvalidatesOnEpochChange(t *testing.T) {
+	s := cacheScenario(t)
+	c := NewSlotCache(s)
+	rng := rand.New(rand.NewSource(6))
+	tx, rx := s.Clients[0], s.APs[0]
+	h1 := c.Channel(tx, rx)
+	e1 := c.Estimated(tx, rx, rng)
+	r1 := c.BaselineUplinkRate(0)
+
+	epochBefore := s.World.Epoch()
+	s.World.Perturb(1) // full fading redraw
+	if s.World.Epoch() == epochBefore {
+		t.Fatal("Perturb did not bump the epoch")
+	}
+
+	h2 := c.Channel(tx, rx)
+	if h2 == h1 {
+		t.Fatal("cache kept a stale channel across an epoch change")
+	}
+	if h2.Equal(h1, 0) {
+		t.Fatal("perturbed channel should differ")
+	}
+	if c.Estimated(tx, rx, rng) == e1 {
+		t.Fatal("cache kept a stale estimate across an epoch change")
+	}
+	if c.BaselineUplinkRate(0) == r1 {
+		t.Fatal("cache kept a stale baseline rate across an epoch change")
+	}
+}
+
+// TestSlotCacheBaselinesMatchUncachedBaselines checks the memoized
+// baseline rates agree with the uncached public helpers.
+func TestSlotCacheBaselinesMatchUncachedBaselines(t *testing.T) {
+	s := cacheScenario(t)
+	c := NewSlotCache(s)
+	for i := range s.Clients {
+		if got, want := c.BaselineUplinkRate(i), BaselineUplinkRate(s, i); got != want {
+			t.Fatalf("uplink baseline %d: cached %v, direct %v", i, got, want)
+		}
+		if got, want := c.BaselineDownlinkRate(i), BaselineDownlinkRate(s, i); got != want {
+			t.Fatalf("downlink baseline %d: cached %v, direct %v", i, got, want)
+		}
+	}
+}

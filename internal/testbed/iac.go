@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"iaclan/internal/cmplxmat"
 	"iaclan/internal/core"
+	"iaclan/internal/phy"
 )
 
 // SlotOutcome is one concurrent-transmission slot's result.
@@ -25,8 +27,18 @@ type SlotOutcome struct {
 // 3 APs (four packets, Fig. 5).
 //
 // Planning runs on estimated channels; SINRs are measured on the true
-// ones.
+// ones. All intermediate math runs on a pooled workspace.
 func RunUplinkSlot(s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, error) {
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
+	return RunUplinkSlotWS(ws, nil, s, twoPacketRole, rng)
+}
+
+// RunUplinkSlotWS is RunUplinkSlot with an explicit workspace and an
+// optional channel memo. A nil cache draws fresh channel estimates for
+// the slot (the paper's per-slot training); a non-nil cache reuses the
+// epoch's per-pair estimates and skips re-deriving channel matrices.
+func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, error) {
 	nc, na := len(s.Clients), len(s.APs)
 	if twoPacketRole < 0 || twoPacketRole >= nc {
 		return SlotOutcome{}, fmt.Errorf("testbed: role %d out of range", twoPacketRole)
@@ -39,15 +51,28 @@ func RunUplinkSlot(s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, 
 			order = append(order, i)
 		}
 	}
-	baseTrue := Permute(s.UplinkChannels(), order)
-	baseEst := Estimate(baseTrue, rng)
+	var baseTrue, baseEst core.ChannelSet
+	if cache == nil {
+		baseTrue = Permute(s.UplinkChannels(), order)
+		baseEst = Estimate(baseTrue, rng)
+	} else {
+		baseTrue = core.NewChannelSet(nc, na)
+		baseEst = core.NewChannelSet(nc, na)
+		for i, o := range order {
+			c := s.Clients[o]
+			for j, ap := range s.APs {
+				baseTrue[i][j] = cache.Channel(c, ap)
+				baseEst[i][j] = cache.Estimated(c, ap, rng)
+			}
+		}
+	}
 
-	solve := func(est core.ChannelSet) (*core.Plan, error) {
+	solve := func(ws *cmplxmat.Workspace, est core.ChannelSet) (*core.Plan, error) {
 		switch {
 		case nc == 2 && na == 2:
-			return core.SolveUplinkThree(est, rng)
+			return core.SolveUplinkThreeWS(ws, est, rng)
 		case nc == 3 && na == 3:
-			return core.SolveUplinkChain(est, rng)
+			return core.SolveUplinkChainWS(ws, est, rng)
 		default:
 			return nil, fmt.Errorf("testbed: unsupported uplink shape %dx%d", nc, na)
 		}
@@ -55,11 +80,13 @@ func RunUplinkSlot(s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, 
 	// The leader chooses which AP plays which role in the construction
 	// by estimated rate (Section 7.1: the concurrency algorithm decides
 	// AP assignments along with the vectors).
-	plan, trueCS, err := bestRxAssignment(baseTrue, baseEst, solve)
+	plan, trueCS, err := bestRxAssignment(ws.Mat, baseTrue, baseEst, solve)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
-	ev, err := plan.Evaluate(trueCS, plan.PlannedChannels, NodePower, NoisePower)
+	mark := ws.Mat.Mark()
+	defer ws.Mat.Release(mark)
+	ev, err := plan.EvaluateWS(ws.Mat, trueCS, plan.PlannedChannels, NodePower, NoisePower)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
@@ -81,9 +108,13 @@ type plannedPlan struct {
 	PlannedChannels core.ChannelSet
 }
 
+// solveFunc is one construction solver bound to a slot shape, running its
+// intermediate math on the given workspace.
+type solveFunc func(ws *cmplxmat.Workspace, est core.ChannelSet) (*core.Plan, error)
+
 // bestTxAssignment mirrors bestRxAssignment over the transmitter axis
 // (downlink: which AP carries which packet).
-func bestTxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet) (*core.Plan, error)) (plannedPlan, core.ChannelSet, error) {
+func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc) (plannedPlan, core.ChannelSet, error) {
 	var best plannedPlan
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
@@ -91,21 +122,27 @@ func bestTxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet)
 	for _, perm := range permutations(trueCS.NumTx()) {
 		est := Permute(estCS, perm)
 		for attempt := 0; attempt < solveCandidates; attempt++ {
-			plan, err := solve(est)
+			mark := ws.Mark()
+			plan, err := solve(ws, est)
 			if err != nil {
 				lastErr = err
+				ws.Release(mark)
 				continue
 			}
-			ev, err := plan.Evaluate(est, est, NodePower, NoisePower)
+			ev, err := plan.EvaluateWS(ws, est, est, NodePower, NoisePower)
 			if err != nil {
 				lastErr = err
+				ws.Release(mark)
 				continue
 			}
 			if ev.SumRate > bestRate {
 				bestRate = ev.SumRate
-				best = plannedPlan{Plan: plan, PlannedChannels: est}
+				// Clone detaches the winner from the workspace before the
+				// release below reclaims the candidate's memory.
+				best = plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
 				bestTrue = Permute(trueCS, perm)
 			}
+			ws.Release(mark)
 		}
 	}
 	if best.Plan == nil {
@@ -116,8 +153,10 @@ func bestTxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet)
 
 // bestRxAssignment tries every receiver-role permutation, solving on the
 // estimated channels and scoring by the estimated sum rate, and returns
-// the winner together with the true channels in the same order.
-func bestRxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet) (*core.Plan, error)) (plannedPlan, core.ChannelSet, error) {
+// the winner together with the true channels in the same order. Each
+// attempt's scratch is released before the next begins — plans are
+// heap-allocated, so keeping the winner is safe.
+func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc) (plannedPlan, core.ChannelSet, error) {
 	var best plannedPlan
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
@@ -129,22 +168,28 @@ func bestRxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet)
 		// the best estimated rate (Section 7.2 estimates rates without
 		// transmitting).
 		for attempt := 0; attempt < solveCandidates; attempt++ {
-			plan, err := solve(est)
+			mark := ws.Mark()
+			plan, err := solve(ws, est)
 			if err != nil {
 				lastErr = err
+				ws.Release(mark)
 				continue
 			}
 			// Score with the planner's knowledge only (estimates).
-			ev, err := plan.Evaluate(est, est, NodePower, NoisePower)
+			ev, err := plan.EvaluateWS(ws, est, est, NodePower, NoisePower)
 			if err != nil {
 				lastErr = err
+				ws.Release(mark)
 				continue
 			}
 			if ev.SumRate > bestRate {
 				bestRate = ev.SumRate
-				best = plannedPlan{Plan: plan, PlannedChannels: est}
+				// Clone detaches the winner from the workspace before the
+				// release below reclaims the candidate's memory.
+				best = plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
 				bestTrue = PermuteRx(trueCS, perm)
 			}
+			ws.Release(mark)
 		}
 	}
 	if best.Plan == nil {
@@ -157,13 +202,33 @@ func bestRxAssignment(trueCS, estCS core.ChannelSet, solve func(core.ChannelSet)
 // shapes: 3 APs x 3 clients (triangle, Fig. 6) and 2 APs x 1 client
 // (diversity selection, Fig. 14).
 func RunDownlinkSlot(s Scenario, rng *rand.Rand) (SlotOutcome, error) {
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
+	return RunDownlinkSlotWS(ws, nil, s, rng)
+}
+
+// RunDownlinkSlotWS is RunDownlinkSlot with an explicit workspace and an
+// optional channel memo (see RunUplinkSlotWS).
+func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *rand.Rand) (SlotOutcome, error) {
 	nc, na := len(s.Clients), len(s.APs)
-	baseTrue := s.DownlinkChannels()
-	baseEst := Estimate(baseTrue, rng)
-	solve := func(est core.ChannelSet) (*core.Plan, error) {
+	var baseTrue, baseEst core.ChannelSet
+	if cache == nil {
+		baseTrue = s.DownlinkChannels()
+		baseEst = Estimate(baseTrue, rng)
+	} else {
+		baseTrue = core.NewChannelSet(na, nc)
+		baseEst = core.NewChannelSet(na, nc)
+		for i, ap := range s.APs {
+			for j, c := range s.Clients {
+				baseTrue[i][j] = cache.Channel(ap, c)
+				baseEst[i][j] = cache.Estimated(ap, c, rng)
+			}
+		}
+	}
+	solve := func(ws *cmplxmat.Workspace, est core.ChannelSet) (*core.Plan, error) {
 		switch {
 		case nc == 3 && na == 3:
-			return core.SolveDownlinkTriangle(est)
+			return core.SolveDownlinkTriangleWS(ws, est)
 		case nc == 1 && na == 2:
 			return core.SolveDownlinkDiversity(est, rng, NodePower, NoisePower)
 		default:
@@ -172,11 +237,13 @@ func RunDownlinkSlot(s Scenario, rng *rand.Rand) (SlotOutcome, error) {
 	}
 	// Downlink roles: the permutation runs over the transmitter (AP)
 	// axis here, deciding which AP carries which client's packet.
-	plan, trueCS, err := bestTxAssignment(baseTrue, baseEst, solve)
+	plan, trueCS, err := bestTxAssignment(ws.Mat, baseTrue, baseEst, solve)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
-	ev, err := plan.Evaluate(trueCS, plan.PlannedChannels, NodePower, NoisePower)
+	mark := ws.Mat.Mark()
+	defer ws.Mat.Release(mark)
+	ev, err := plan.EvaluateWS(ws.Mat, trueCS, plan.PlannedChannels, NodePower, NoisePower)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
@@ -205,10 +272,12 @@ func downlinkDestination(plan *core.Plan, pkt int) int {
 // AverageUplinkIAC runs one slot per two-packet role (the paper's
 // round-robin) and returns the average sum rate.
 func AverageUplinkIAC(s Scenario, rng *rand.Rand) (float64, error) {
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
 	var total float64
 	n := 0
 	for role := 0; role < len(s.Clients); role++ {
-		out, err := RunUplinkSlot(s, role, rng)
+		out, err := RunUplinkSlotWS(ws, nil, s, role, rng)
 		if err != nil {
 			return 0, err
 		}

@@ -102,8 +102,20 @@ func PermuteRx(cs core.ChannelSet, order []int) core.ChannelSet {
 	return out
 }
 
+// permTable caches the orderings for the shapes the constructions use
+// (1 to 3 APs or clients), so the per-slot role search never regenerates
+// them.
+var permTable = [][][]int{nil, genPermutations(1), genPermutations(2), genPermutations(3)}
+
 // permutations returns all orderings of 0..n-1. n is small (2 or 3 APs).
 func permutations(n int) [][]int {
+	if n > 0 && n < len(permTable) {
+		return permTable[n]
+	}
+	return genPermutations(n)
+}
+
+func genPermutations(n int) [][]int {
 	base := make([]int, n)
 	for i := range base {
 		base[i] = i

@@ -1,17 +1,22 @@
 package iaclan
 
 import (
+	"math/rand"
 	"testing"
 
+	"iaclan/internal/channel"
+	"iaclan/internal/phy"
 	"iaclan/internal/sim"
+	"iaclan/internal/testbed"
 )
 
 // Benchmarks for the traffic engine's hot paths, in hub_bench_test.go's
-// spirit: one number per future PR to watch. BenchmarkSimCFPCycle
-// amortizes engine setup and the plan cache warm-up over b.N cycles —
-// the steady-state cost of one beacon/CFP/CP round. The trial-sweep
-// pair measures the parallel runner against its serial twin on the
-// same seeds.
+// spirit: one number per future PR to watch. BenchmarkSimulate is the
+// CI benchmark gate's headline: the whole public-API simulation loop,
+// allocations reported. BenchmarkSimCFPCycle amortizes engine setup and
+// the plan cache warm-up over b.N cycles — the steady-state cost of one
+// beacon/CFP/CP round. The slot pair contrasts the allocating fresh-plan
+// path with the memoized workspace path the engine actually runs.
 
 func benchSimConfig() sim.Config {
 	cfg := sim.Default()
@@ -20,9 +25,22 @@ func benchSimConfig() sim.Config {
 	return cfg
 }
 
+func BenchmarkSimulate(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = 120
+	cfg.Trials = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimCFPCycle(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = b.N
+	b.ReportAllocs()
 	if _, err := sim.Run(cfg); err != nil {
 		b.Fatal(err)
 	}
@@ -33,6 +51,7 @@ const benchSweepTrials = 4
 func BenchmarkSimTrialSweepSerial(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = 100
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunTrials(cfg, benchSweepTrials, 1); err != nil {
 			b.Fatal(err)
@@ -43,8 +62,49 @@ func BenchmarkSimTrialSweepSerial(b *testing.B) {
 func BenchmarkSimTrialSweepParallel(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = 100
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunTrials(cfg, benchSweepTrials, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSlotScenario builds a fixed 3-client/3-AP uplink scenario for the
+// slot-planning pair below.
+func benchSlotScenario() testbed.Scenario {
+	world := channel.DefaultTestbed(31)
+	return testbed.PickScenario(world, 3, 3)
+}
+
+// BenchmarkUplinkSlotFresh is the "before" shape: every slot re-derives
+// channel matrices, draws fresh channel estimates, and returns
+// heap-allocated results (the public one-shot API).
+func BenchmarkUplinkSlotFresh(b *testing.B) {
+	s := benchSlotScenario()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testbed.RunUplinkSlot(s, 0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUplinkSlotMemoized is the "after" shape the traffic engine
+// runs: a per-trial workspace plus the epoch-keyed channel/estimate memo,
+// so steady-state slots touch the heap only for the winning plan.
+func BenchmarkUplinkSlotMemoized(b *testing.B) {
+	s := benchSlotScenario()
+	rng := rand.New(rand.NewSource(1))
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
+	cache := testbed.NewSlotCache(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testbed.RunUplinkSlotWS(ws, cache, s, 0, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
