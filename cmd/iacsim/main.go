@@ -9,6 +9,7 @@
 //	iacsim -clients 10 -aps 3 -cycles 1000 -workload poisson -load 0.1
 //	iacsim -workload bursty -load 0.15 -duty 0.25 -trials 8 -compare
 //	iacsim -dir down -workload saturated -picker brute-force
+//	iacsim -workload saturated -eps 0.35 -retrain 8 -mobility -compare
 package main
 
 import (
@@ -36,6 +37,13 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all cores)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		compare  = flag.Bool("compare", false, "also run the TDMA-style GroupSize=1 baseline and report the gain")
+
+		eps        = flag.Float64("eps", 0, "block-fading innovation per coherence interval in [0,1] (0 = static channel)")
+		coherence  = flag.Int("coherence", 1, "coherence interval in CFP cycles")
+		retrain    = flag.Int("retrain", 0, "re-training period in CFP cycles (0 = every coherence interval)")
+		trainSlots = flag.Int("train-slots", 2, "airtime slots charged per re-training round")
+		mobility   = flag.Bool("mobility", false, "random-waypoint client mobility")
+		speed      = flag.Float64("speed", 0.5, "mobile client speed in meters per coherence interval")
 	)
 	flag.Parse()
 	if *dir != "up" && *dir != "down" {
@@ -60,9 +68,29 @@ func main() {
 	}
 	cfg.Trials = *trials
 	cfg.Workers = *workers
+	if *eps > 0 || *mobility {
+		cfg.Dynamics = iaclan.SimDynamics{
+			Eps:                    *eps,
+			CoherenceCycles:        *coherence,
+			RetrainCycles:          *retrain,
+			TrainSlots:             *trainSlots,
+			Mobility:               *mobility,
+			SpeedMetersPerInterval: *speed,
+		}
+	}
 
 	fmt.Printf("IAC traffic simulation: %d clients, %d APs, %s-link, %s load %.3g pkt/slot, %d cycles x %d trials\n",
 		cfg.Clients, cfg.APs, *dir, *workload, *load, cfg.Cycles, cfg.Trials)
+	if *eps > 0 || *mobility {
+		// RetrainCycles 0 defaults to the coherence interval (see
+		// SimDynamics); any explicit value is taken as given.
+		period := *retrain
+		if period == 0 {
+			period = *coherence
+		}
+		fmt.Printf("channel dynamics: eps %.3g every %d cycles, mobility %v, re-train every %d cycles (%d slots each)\n",
+			*eps, *coherence, *mobility, period, *trainSlots)
+	}
 	start := time.Now()
 	res, err := iaclan.Simulate(cfg)
 	if err != nil {

@@ -261,6 +261,12 @@ type SimConfig = sim.Config
 // simulation (kind plus rate/burstiness parameters).
 type SimWorkload = sim.Workload
 
+// SimDynamics configures time-varying channel state for a simulation:
+// block fading per coherence interval, random-waypoint client mobility,
+// and the re-training schedule with its airtime cost. The zero value
+// freezes the channel for the whole trial.
+type SimDynamics = sim.Dynamics
+
 // WorkloadKind names an offered-load model (see the Workload*
 // constants).
 type WorkloadKind = sim.WorkloadKind

@@ -149,7 +149,7 @@ func TestValidationErrors(t *testing.T) {
 
 func TestExperimentsRegistryAndRun(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("experiments %v", ids)
 	}
 	cfg := DefaultExperimentConfig()

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"slices"
 
 	"iaclan/internal/cmplxmat"
 )
@@ -263,28 +264,40 @@ func (w *World) MoveNode(n *Node, x, y float64) {
 	}
 }
 
+// node resolves a node ID to its Node. AddNode assigns IDs as creation
+// indices, so the node slice doubles as the ID map.
+func (w *World) node(id int) *Node { return w.nodes[id] }
+
 // Perturb ages the fading of every generated pair by the innovation factor
 // eps in [0,1]: H' = sqrt(1-eps^2) H + eps W with W fresh CN(0,g). eps=0
-// is a static channel; eps=1 a full redraw. Used to test channel tracking.
+// is a static channel; eps=1 a full redraw. This is the block-fading step
+// of the traffic engine's channel dynamics.
+//
+// Pairs are aged in sorted key order: every innovation draw must land on
+// the same pair in every run, so Go's randomized map iteration order can
+// never reach the world RNG stream (the bit-for-bit-given-a-seed
+// contract; pinned by TestPerturbDeterministic).
 func (w *World) Perturb(eps float64) {
 	if eps < 0 || eps > 1 {
 		panic("channel: Perturb eps out of [0,1]")
 	}
 	w.epoch++
 	keep := math.Sqrt(1 - eps*eps)
-	for k, p := range w.phys {
-		var a, b *Node
-		for _, n := range w.nodes {
-			if n.ID == k.lo {
-				a = n
-			}
-			if n.ID == k.hi {
-				b = n
-			}
+	keys := make([]pairKey, 0, len(w.phys))
+	for k := range w.phys {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b pairKey) int {
+		if a.lo != b.lo {
+			return a.lo - b.lo
 		}
+		return a.hi - b.hi
+	})
+	for _, k := range keys {
+		a, b := w.node(k.lo), w.node(k.hi)
 		amp := math.Sqrt(w.MeanSNR(a, b))
 		wnew := cmplxmat.RandomGaussian(w.rng, w.params.Antennas, w.params.Antennas).Scale(complex(amp*eps, 0))
-		w.phys[k] = p.Scale(complex(keep, 0)).Add(wnew)
+		w.phys[k] = w.phys[k].Scale(complex(keep, 0)).Add(wnew)
 	}
 }
 

@@ -105,6 +105,7 @@ func Registry() []struct {
 		{"ofdm", OFDMAlignment},
 		{"adhoc", AdHocClusters},
 		{"loadsweep", LoadSweep},
+		{"coherence", CoherenceSweep},
 	}
 }
 

@@ -9,7 +9,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 	want := []string{
 		"fig12", "fig13a", "fig13b", "fig14", "fig15a", "fig15b",
 		"fig16", "lemma51", "lemma52", "freqoffset", "overhead", "ethernet",
-		"ofdm", "adhoc", "loadsweep",
+		"ofdm", "adhoc", "loadsweep", "coherence",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -341,6 +341,46 @@ func TestLoadSweepShape(t *testing.T) {
 		if v := r.Metrics["backend_bytes_per_bit_load"+load]; v <= 0 || v > 1 {
 			t.Fatalf("backend ratio %v at load %s", v, load)
 		}
+	}
+}
+
+func TestCoherenceSweepShape(t *testing.T) {
+	r, err := CoherenceSweep(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance shape: at a fixed re-training period, IAC's sum
+	// throughput decreases as the channel innovation grows.
+	thr := r.Series["thr_iac"]
+	eps := r.Series["eps"]
+	if len(thr) != 4 || len(eps) != 4 {
+		t.Fatalf("eps axis has %d/%d points", len(eps), len(thr))
+	}
+	if !(thr[0] > thr[2] && thr[2] > thr[3]) {
+		t.Fatalf("throughput not decreasing in eps: %v over eps %v", thr, eps)
+	}
+	// A static channel keeps the saturated IAC gain; fast fading with an
+	// 8-cycle-stale survey forfeits it.
+	if g := r.Metrics["gain_eps0"]; g < 1.5 {
+		t.Fatalf("static-channel gain %v below the saturated floor", g)
+	}
+	if r.Metrics["gain_eps0.6"] >= r.Metrics["gain_eps0"] {
+		t.Fatalf("gain should shrink with eps: %v at 0.6 vs %v at 0",
+			r.Metrics["gain_eps0.6"], r.Metrics["gain_eps0"])
+	}
+	// Outage losses show up as undelivered traffic for IAC, while the
+	// ideally-adapting TDMA baseline keeps delivering.
+	if r.Metrics["delivered_iac_eps0.6"] >= r.Metrics["delivered_iac_eps0"] {
+		t.Fatal("delivered fraction should fall with eps")
+	}
+	if r.Metrics["delivered_tdma_eps0.6"] < 0.9*r.Metrics["delivered_tdma_eps0"] {
+		t.Fatal("baseline delivery should be (nearly) untouched by fading speed")
+	}
+	// Re-training axis: at eps=0.35, an 8-cycle-stale survey loses to
+	// re-training every 2 cycles despite the extra training airtime.
+	if r.Metrics["thr_iac_retrain2"] <= r.Metrics["thr_iac_retrain32"] {
+		t.Fatalf("frequent re-training should beat a 32-cycle-stale survey: %v vs %v",
+			r.Metrics["thr_iac_retrain2"], r.Metrics["thr_iac_retrain32"])
 	}
 }
 

@@ -562,3 +562,29 @@ func TestEnqueueBornStampsArrival(t *testing.T) {
 		t.Fatalf("latency %d, want 2 (one queued cycle + service slot)", lat)
 	}
 }
+
+func TestChargeSlotsAdvancesAirtimeOnly(t *testing.T) {
+	runner := func(group []ClientID) SlotResult {
+		return SlotResult{Rate: make([]float64, len(group)), Lost: make([]bool, len(group))}
+	}
+	sim := NewSimulator(Config{GroupSize: 1, CPSlots: 2}, FIFOPicker{}, constRate, runner)
+	sim.ChargeSlots(3)
+	if sim.Slots() != 3 {
+		t.Fatalf("slots %d after charging 3", sim.Slots())
+	}
+	if sim.Beacons() != 0 || sim.QueueLen() != 0 || len(sim.Stats()) != 0 {
+		t.Fatal("ChargeSlots must not touch traffic state")
+	}
+	sim.Enqueue(0)
+	sim.RunCFP()
+	// 1 CFP slot + 2 CP slots on top of the 3 charged training slots.
+	if sim.Slots() != 3+1+2 {
+		t.Fatalf("slots %d", sim.Slots())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge accepted")
+		}
+	}()
+	sim.ChargeSlots(-1)
+}

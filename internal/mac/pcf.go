@@ -140,6 +140,18 @@ func (s *Simulator) Beacons() int { return s.beacons }
 // for throughput accounting.
 func (s *Simulator) Slots() int { return s.slots }
 
+// ChargeSlots advances the airtime clock by n slots without serving any
+// traffic — pure overhead airtime. The traffic engine charges the
+// channel re-training bursts through it whenever the fading state moves:
+// training occupies the medium and dilutes throughput (its denominator
+// includes charged slots) but delivers no payload.
+func (s *Simulator) ChargeSlots(n int) {
+	if n < 0 {
+		panic("mac: ChargeSlots needs n >= 0")
+	}
+	s.slots += n
+}
+
 // RunCFP executes one contention-free period: beacon (with the previous
 // CFP's ack map), then one slot per transmission group until every client
 // with pending traffic has been served once this CFP ("the APs serve one

@@ -35,7 +35,13 @@ type groupOutcome struct {
 	// member absent from the map was not served (fallback slots carry
 	// only the head).
 	perClient map[int]float64
-	packets   int
+	// planned maps scenario client index to the rate the leader planned
+	// the client's packets at (from the last training survey). Non-nil
+	// only under channel dynamics, where achieved-vs-planned decides
+	// outage losses; the head-only fallback leaves it nil (the baseline
+	// is granted ideal rate adaptation).
+	planned map[int]float64
+	packets int
 }
 
 // engine simulates one trial: one world, one MAC, one wired plane.
@@ -63,6 +69,13 @@ type engine struct {
 	cache      map[groupKey]groupOutcome
 	cacheEpoch uint64
 
+	// Channel-dynamics state: the normalized Dynamics block, a dedicated
+	// RNG for waypoint draws (so mobility never re-orders the traffic or
+	// planner streams), and each client's current waypoint.
+	dyn       Dynamics
+	dynRng    *rand.Rand
+	waypoints []waypoint
+
 	// Per-client traffic state.
 	gens  []Generator
 	next  []float64 // next arrival time in slots (timed workloads)
@@ -83,7 +96,7 @@ func newEngine(cfg Config) (*engine, error) {
 	if worldNodes < 20 {
 		worldNodes = 20
 	}
-	world := channel.NewTestbed(channel.DefaultParams(), cfg.Seed, worldNodes, 12)
+	world := channel.NewTestbed(channel.DefaultParams(), cfg.Seed, worldNodes, roomMeters)
 	e := &engine{
 		cfg:       cfg,
 		scenario:  testbed.PickScenario(world, cfg.Clients, cfg.APs),
@@ -103,6 +116,23 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.chans = testbed.NewSlotCache(e.scenario)
 	e.cacheEpoch = e.scenario.World.Epoch()
+	e.dyn = cfg.Dynamics.normalized()
+	if e.dyn.enabled() {
+		e.dynRng = rand.New(rand.NewSource(cfg.Seed + 13))
+		// Stale-CSI clock: estimates refresh on the re-training schedule
+		// only, and the slot runners report planned rates so runSlot can
+		// detect outages. The trial opens on a full survey of the fresh
+		// channel (later rounds run on the re-training schedule).
+		e.chans.SetManualRetrain(true)
+		e.chans.TrackPlannedRates(true)
+		e.surveyAll()
+		if e.dyn.Mobility {
+			e.waypoints = make([]waypoint, cfg.Clients)
+			for i := range e.waypoints {
+				e.waypoints[i] = e.randWaypoint()
+			}
+		}
+	}
 	for i := range e.gens {
 		g, err := cfg.Workload.NewGenerator()
 		if err != nil {
@@ -155,16 +185,19 @@ func Run(cfg Config) (TrialResult, error) {
 	e.ws = phy.GetWorkspace()
 	defer phy.PutWorkspace(e.ws)
 	for c := 0; c < cfg.Cycles; c++ {
-		e.cycle()
+		e.cycle(c)
 	}
 	return e.result(), nil
 }
 
-// cycle runs one beacon/CFP/CP round: deliver the arrivals that
-// accumulated during the previous cycle's airtime, run the CFP, put the
-// beacon's ack map on the wire, and discard the cycle's broadcasts
-// (the hub is used for byte accounting; nobody replays the payloads).
-func (e *engine) cycle() {
+// cycle runs one beacon/CFP/CP round: age the channel and re-train per
+// the dynamics schedule, deliver the arrivals that accumulated during
+// the previous cycle's airtime (including any training slots just
+// charged), run the CFP, put the beacon's ack map on the wire, and
+// discard the cycle's broadcasts (the hub is used for byte accounting;
+// nobody replays the payloads).
+func (e *engine) cycle(c int) {
+	e.applyDynamics(c)
 	e.generate()
 	beacon := e.sim.RunCFP()
 	if len(beacon.AckMap) > 0 {
@@ -247,6 +280,14 @@ func (e *engine) runSlot(group []mac.ClientID) mac.SlotResult {
 		r, served := out.perClient[int(c)]
 		if !served {
 			res.Lost[i] = true
+			continue
+		}
+		if p, ok := out.planned[int(c)]; ok && r < e.dyn.OutageFraction*p {
+			// Outage: the modulation picked from the last training
+			// survey outran what the drifted channel carries. The AP
+			// reports the loss to the leader; the packet retries.
+			res.Lost[i] = true
+			e.publish(backend.MsgLossReport, nil)
 			continue
 		}
 		res.Rate[i] = r
@@ -336,7 +377,7 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	case !e.cfg.Uplink && len(idx) == 3 && na >= 3:
 		sub.APs = e.scenario.APs[:3]
 		res, err = testbed.RunDownlinkSlotWS(e.ws, e.chans, sub, e.rng)
-	case !e.cfg.Uplink && len(idx) == 1 && na >= 2 && e.cfg.GroupSize > 1:
+	case !e.cfg.Uplink && len(idx) == 1 && na >= 2 && e.cfg.iacMode():
 		sub.APs = e.scenario.APs[:2]
 		res, err = testbed.RunDownlinkSlotWS(e.ws, e.chans, sub, e.rng)
 	default:
@@ -356,7 +397,14 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	for local, rate := range res.PerClient {
 		per[idx[local]] += rate
 	}
-	return groupOutcome{ok: true, sumRate: res.SumRate, perClient: per, packets: res.Plan.NumPackets()}
+	var planned map[int]float64
+	if res.PlannedPerClient != nil {
+		planned = make(map[int]float64, len(res.PlannedPerClient))
+		for local, rate := range res.PlannedPerClient {
+			planned[idx[local]] += rate
+		}
+	}
+	return groupOutcome{ok: true, sumRate: res.SumRate, perClient: per, planned: planned, packets: res.Plan.NumPackets()}
 }
 
 // PacketDelivered implements mac.Tracer.

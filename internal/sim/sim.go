@@ -62,6 +62,11 @@ type Config struct {
 	Picker string
 	// Workload is the per-client offered-load model.
 	Workload Workload
+	// Dynamics configures time-varying channel state: block fading per
+	// coherence interval, random-waypoint client mobility, and the
+	// re-training schedule with its airtime cost. The zero value runs
+	// the static channel of earlier revisions.
+	Dynamics Dynamics
 	// PacketBytes is the payload size of every data packet.
 	PacketBytes int
 	// Trials and Workers configure RunTrials-based sweeps: Trials
@@ -131,6 +136,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// iacMode reports whether the MAC runs IAC transmission groups
+// (GroupSize > 1) rather than the one-packet-per-slot 802.11-MIMO TDMA
+// baseline (GroupSize == 1). This is the gate DESIGN.md's slot-shape
+// rule refers to: the 1x2 downlink AP-diversity shape serves a lone
+// group member in IAC mode only, while the baseline serves a lone
+// downlink client at its best-AP 802.11-MIMO rate. On the downlink,
+// validate restricts IAC mode to GroupSize 3.
+func (c Config) iacMode() bool { return c.GroupSize > 1 }
+
 // validate rejects configurations the slot shapes cannot serve.
 func (c Config) validate() error {
 	if c.Clients < 1 {
@@ -169,6 +183,9 @@ func (c Config) validate() error {
 	}
 	if c.PacketBytes < 1 {
 		return fmt.Errorf("sim: PacketBytes must be >= 1")
+	}
+	if err := c.Dynamics.validate(); err != nil {
+		return err
 	}
 	return c.Workload.validate()
 }

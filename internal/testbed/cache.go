@@ -25,6 +25,12 @@ import (
 // all slots planned in that epoch see one consistent channel survey,
 // like APs sharing a measurement round over the wired backend.
 //
+// Under the traffic engine's channel dynamics the estimate memo follows
+// a different clock: SetManualRetrain pins training estimates across
+// epoch moves so they refresh only on Retrain — the stale-CSI model
+// where the channel decorrelates faster than the APs re-survey it.
+// True channels and baseline rates always track the world epoch.
+//
 // A SlotCache is scoped to one scenario (its AP set anchors the baseline
 // rates) and is not safe for concurrent use; each simulation trial owns
 // one, which keeps sharded trial sweeps bit-identical to serial runs.
@@ -34,6 +40,13 @@ type SlotCache struct {
 	chans    map[chanKey]*cmplxmat.Matrix
 	ests     map[chanKey]*cmplxmat.Matrix
 	base     map[baseKey]float64
+	// manualRetrain decouples the estimate memo from the world epoch:
+	// estimates survive fading mutations and drop only on Retrain.
+	manualRetrain bool
+	// trackPlanned asks the slot runners to report the planner's
+	// estimate-derived rates alongside the achieved ones (see
+	// SlotOutcome.PlannedPerClient), so a MAC can detect outages.
+	trackPlanned bool
 }
 
 // chanKey identifies a directed transmitter->receiver pair by node ID.
@@ -57,11 +70,33 @@ func NewSlotCache(s Scenario) *SlotCache {
 	}
 }
 
-// ensure drops every memo when the world's channel epoch has moved.
+// SetManualRetrain selects the estimate-invalidation clock. Off (the
+// default), every epoch move implies a fresh channel survey: estimates
+// drop with the rest of the memos. On, estimates survive epoch moves and
+// refresh only when Retrain is called — planners keep working from the
+// last survey while the true channel drifts, which is exactly the stale
+// CSI the paper's Section 8 coherence measurements are about.
+func (c *SlotCache) SetManualRetrain(on bool) { c.manualRetrain = on }
+
+// TrackPlannedRates toggles planned-rate reporting in the slot runners
+// (SlotOutcome.PlannedPerClient). Off by default so static runs pay no
+// extra allocation.
+func (c *SlotCache) TrackPlannedRates(on bool) { c.trackPlanned = on }
+
+// Retrain models one training round: every cached estimate is dropped,
+// so the next lookups re-survey the current channel state. True channels
+// and baseline rates are keyed to the world epoch and are unaffected.
+func (c *SlotCache) Retrain() { clear(c.ests) }
+
+// ensure drops the epoch-keyed memos when the world's channel epoch has
+// moved. Estimates follow the epoch too unless manual re-training pins
+// them (see SetManualRetrain).
 func (c *SlotCache) ensure() {
 	if e := c.scenario.World.Epoch(); e != c.epoch {
 		clear(c.chans)
-		clear(c.ests)
+		if !c.manualRetrain {
+			clear(c.ests)
+		}
 		clear(c.base)
 		c.epoch = e
 	}

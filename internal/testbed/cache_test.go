@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"iaclan/internal/channel"
+	"iaclan/internal/phy"
 )
 
 func cacheScenario(t *testing.T) Scenario {
@@ -87,4 +88,84 @@ func TestSlotCacheBaselinesMatchUncachedBaselines(t *testing.T) {
 			t.Fatalf("downlink baseline %d: cached %v, direct %v", i, got, want)
 		}
 	}
+}
+
+// TestSlotCacheManualRetrainPinsEstimates pins the stale-CSI clock: with
+// manual re-training on, estimates survive fading mutations (planners
+// keep the last survey) while true channels and baselines track the
+// world epoch; Retrain then forces a fresh survey of the current state.
+func TestSlotCacheManualRetrainPinsEstimates(t *testing.T) {
+	s := cacheScenario(t)
+	c := NewSlotCache(s)
+	c.SetManualRetrain(true)
+	rng := rand.New(rand.NewSource(7))
+	tx, rx := s.Clients[0], s.APs[0]
+	h1 := c.Channel(tx, rx)
+	e1 := c.Estimated(tx, rx, rng)
+	r1 := c.BaselineUplinkRate(0)
+
+	s.World.Perturb(0.5)
+
+	if c.Channel(tx, rx) == h1 {
+		t.Fatal("true channel must track the epoch even under manual retrain")
+	}
+	if c.BaselineUplinkRate(0) == r1 {
+		t.Fatal("baseline rate must track the epoch even under manual retrain")
+	}
+	if c.Estimated(tx, rx, rng) != e1 {
+		t.Fatal("manual retrain must pin estimates across an epoch move")
+	}
+
+	c.Retrain()
+	e2 := c.Estimated(tx, rx, rng)
+	if e2 == e1 {
+		t.Fatal("Retrain must drop the pinned estimates")
+	}
+	if e2.Equal(e1, 0) {
+		t.Fatal("post-retrain estimate should survey the perturbed channel")
+	}
+}
+
+// TestSlotOutcomePlannedRatesTracked pins the planned-rate contract: the
+// slot runners report the planner's estimate-derived rates only when
+// asked, and on a static channel planned and achieved rates are close
+// (estimation noise only, no staleness).
+func TestSlotOutcomePlannedRatesTracked(t *testing.T) {
+	s := cacheScenario(t)
+	c := NewSlotCache(s)
+	rng := rand.New(rand.NewSource(8))
+	outOff, err := RunUplinkSlot(s, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outOff.PlannedPerClient != nil {
+		t.Fatal("planned rates reported without tracking")
+	}
+	c.TrackPlannedRates(true)
+	outOn, err := RunUplinkSlotWS(phyWorkspace(t), c, s, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outOn.PlannedPerClient) != len(outOn.PerClient) {
+		t.Fatalf("planned map covers %d clients, achieved covers %d",
+			len(outOn.PlannedPerClient), len(outOn.PerClient))
+	}
+	for client, achieved := range outOn.PerClient {
+		planned := outOn.PlannedPerClient[client]
+		if planned <= 0 {
+			t.Fatalf("client %d planned rate %v", client, planned)
+		}
+		// Fresh CSI: achieved within a factor of the plan either way.
+		if achieved < 0.5*planned || achieved > 2*planned {
+			t.Fatalf("client %d achieved %v vs planned %v on a static channel", client, achieved, planned)
+		}
+	}
+}
+
+// phyWorkspace borrows a pooled workspace for the test's lifetime.
+func phyWorkspace(t *testing.T) *phy.Workspace {
+	t.Helper()
+	ws := phy.GetWorkspace()
+	t.Cleanup(func() { phy.PutWorkspace(ws) })
+	return ws
 }

@@ -16,6 +16,13 @@ type SlotOutcome struct {
 	// PerClient maps scenario client index to the rate its packets
 	// achieved this slot.
 	PerClient map[int]float64
+	// PlannedPerClient maps scenario client index to the rate the leader
+	// planned the client's packets at — the estimate-derived rate the MAC
+	// selects its modulation from. Under stale CSI it can exceed what the
+	// drifted channel actually carries (PerClient), which is how the
+	// traffic engine detects outages. Filled only when planning through a
+	// SlotCache with TrackPlannedRates on; nil otherwise.
+	PlannedPerClient map[int]float64
 	// Plan is the IAC plan that produced the outcome.
 	Plan *core.Plan
 }
@@ -80,7 +87,7 @@ func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketR
 	// The leader chooses which AP plays which role in the construction
 	// by estimated rate (Section 7.1: the concurrency algorithm decides
 	// AP assignments along with the vectors).
-	plan, trueCS, err := bestRxAssignment(ws.Mat, baseTrue, baseEst, solve)
+	plan, trueCS, err := bestRxAssignment(ws.Mat, baseTrue, baseEst, solve, cache != nil && cache.trackPlanned)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
@@ -94,6 +101,12 @@ func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketR
 	for pkt, owner := range plan.Owner {
 		out.PerClient[order[owner]] += ev.PacketRate[pkt]
 	}
+	if plan.PlannedRate != nil {
+		out.PlannedPerClient = make(map[int]float64, len(out.PerClient))
+		for pkt, owner := range plan.Owner {
+			out.PlannedPerClient[order[owner]] += plan.PlannedRate[pkt]
+		}
+	}
 	return out, nil
 }
 
@@ -102,10 +115,15 @@ func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketR
 const solveCandidates = 3
 
 // plannedPlan bundles a solved plan with the channel estimates it was
-// planned against (in the plan's receiver order).
+// planned against (in the plan's receiver order) and, when requested,
+// the per-packet rates the planner scored it at on those estimates.
 type plannedPlan struct {
 	*core.Plan
 	PlannedChannels core.ChannelSet
+	// PlannedRate is the winner's estimated per-packet rate, copied out
+	// of the workspace before its scratch is released. Nil unless the
+	// assignment search ran with trackPlanned.
+	PlannedRate []float64
 }
 
 // solveFunc is one construction solver bound to a slot shape, running its
@@ -114,7 +132,7 @@ type solveFunc func(ws *cmplxmat.Workspace, est core.ChannelSet) (*core.Plan, er
 
 // bestTxAssignment mirrors bestRxAssignment over the transmitter axis
 // (downlink: which AP carries which packet).
-func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc) (plannedPlan, core.ChannelSet, error) {
+func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc, trackPlanned bool) (plannedPlan, core.ChannelSet, error) {
 	var best plannedPlan
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
@@ -139,7 +157,12 @@ func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 				bestRate = ev.SumRate
 				// Clone detaches the winner from the workspace before the
 				// release below reclaims the candidate's memory.
-				best = plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
+				winner := plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
+				if trackPlanned {
+					// The previous winner's buffer is dead; reuse it.
+					winner.PlannedRate = append(best.PlannedRate[:0], ev.PacketRate...)
+				}
+				best = winner
 				bestTrue = Permute(trueCS, perm)
 			}
 			ws.Release(mark)
@@ -156,7 +179,7 @@ func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 // the winner together with the true channels in the same order. Each
 // attempt's scratch is released before the next begins — plans are
 // heap-allocated, so keeping the winner is safe.
-func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc) (plannedPlan, core.ChannelSet, error) {
+func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc, trackPlanned bool) (plannedPlan, core.ChannelSet, error) {
 	var best plannedPlan
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
@@ -186,7 +209,12 @@ func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 				bestRate = ev.SumRate
 				// Clone detaches the winner from the workspace before the
 				// release below reclaims the candidate's memory.
-				best = plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
+				winner := plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
+				if trackPlanned {
+					// The previous winner's buffer is dead; reuse it.
+					winner.PlannedRate = append(best.PlannedRate[:0], ev.PacketRate...)
+				}
+				best = winner
 				bestTrue = PermuteRx(trueCS, perm)
 			}
 			ws.Release(mark)
@@ -237,7 +265,7 @@ func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *ran
 	}
 	// Downlink roles: the permutation runs over the transmitter (AP)
 	// axis here, deciding which AP carries which client's packet.
-	plan, trueCS, err := bestTxAssignment(ws.Mat, baseTrue, baseEst, solve)
+	plan, trueCS, err := bestTxAssignment(ws.Mat, baseTrue, baseEst, solve, cache != nil && cache.trackPlanned)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
@@ -248,11 +276,17 @@ func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *ran
 		return SlotOutcome{}, err
 	}
 	out := SlotOutcome{SumRate: ev.SumRate, PerClient: map[int]float64{}, Plan: plan.Plan}
+	if plan.PlannedRate != nil {
+		out.PlannedPerClient = make(map[int]float64, len(out.PerClient))
+	}
 	for pkt := range plan.Owner {
 		// Downlink packets are destined to the receiver that decodes
 		// them; attribute each packet to that client.
 		client := downlinkDestination(plan.Plan, pkt)
 		out.PerClient[client] += ev.PacketRate[pkt]
+		if out.PlannedPerClient != nil {
+			out.PlannedPerClient[client] += plan.PlannedRate[pkt]
+		}
 	}
 	return out, nil
 }

@@ -37,6 +37,32 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateDynamics is BenchmarkSimulate with the channel-
+// dynamics subsystem on: per-cycle block fading plus waypoint mobility
+// bump the world epoch every cycle, so every epoch-keyed memo (channel
+// matrices, baseline rates, group outcomes) is rebuilt per cycle and
+// the 8-cycle re-training schedule re-surveys the estimates. This gates
+// the cost of mid-trial cache invalidation — the cache-thrash path the
+// static benchmark never touches.
+func BenchmarkSimulateDynamics(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = 120
+	cfg.Trials = 1
+	cfg.Dynamics = sim.Dynamics{
+		Eps:             0.3,
+		CoherenceCycles: 1,
+		RetrainCycles:   8,
+		TrainSlots:      2,
+		Mobility:        true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimCFPCycle(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = b.N
