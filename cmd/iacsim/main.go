@@ -10,6 +10,7 @@
 //	iacsim -workload bursty -load 0.15 -duty 0.25 -trials 8 -compare
 //	iacsim -dir down -workload saturated -picker brute-force
 //	iacsim -workload saturated -eps 0.35 -retrain 8 -mobility -compare
+//	iacsim -workload saturated -noise-db 12 -residual -mcs -compare
 package main
 
 import (
@@ -44,6 +45,10 @@ func main() {
 		trainSlots = flag.Int("train-slots", 2, "airtime slots charged per re-training round")
 		mobility   = flag.Bool("mobility", false, "random-waypoint client mobility")
 		speed      = flag.Float64("speed", 0.5, "mobile client speed in meters per coherence interval")
+
+		noiseDB  = flag.Float64("noise-db", 0, "receiver noise power in dB over the unit-noise convention (lowers every link's SNR by this much)")
+		residual = flag.Bool("residual", false, "imperfect cancellation: residues scale with the decoded packet's error")
+		mcs      = flag.Bool("mcs", false, "discrete MCS rate adaptation with per-packet outage for both schemes")
 	)
 	flag.Parse()
 	if *dir != "up" && *dir != "down" {
@@ -78,6 +83,7 @@ func main() {
 			SpeedMetersPerInterval: *speed,
 		}
 	}
+	cfg.Link = iaclan.SimLink{NoiseDB: *noiseDB, ResidualCancel: *residual, MCS: *mcs}
 
 	fmt.Printf("IAC traffic simulation: %d clients, %d APs, %s-link, %s load %.3g pkt/slot, %d cycles x %d trials\n",
 		cfg.Clients, cfg.APs, *dir, *workload, *load, cfg.Cycles, cfg.Trials)
@@ -90,6 +96,10 @@ func main() {
 		}
 		fmt.Printf("channel dynamics: eps %.3g every %d cycles, mobility %v, re-train every %d cycles (%d slots each)\n",
 			*eps, *coherence, *mobility, period, *trainSlots)
+	}
+	if *noiseDB != 0 || *residual || *mcs {
+		fmt.Printf("link plane: noise %+.3g dB, residual cancellation %v, discrete MCS %v\n",
+			*noiseDB, *residual, *mcs)
 	}
 	start := time.Now()
 	res, err := iaclan.Simulate(cfg)

@@ -267,6 +267,14 @@ type SimWorkload = sim.Workload
 // freezes the channel for the whole trial.
 type SimDynamics = sim.Dynamics
 
+// SimLink configures the SNR-aware link plane of a simulation: the
+// receiver-noise operating point (NoiseDB), imperfect-cancellation
+// residuals (ResidualCancel), and the shared discrete MCS rate/outage
+// model (MCS). The zero value runs the legacy link model: unit noise,
+// exact cancellation given the estimated channels, continuous Shannon
+// rates.
+type SimLink = sim.Link
+
 // WorkloadKind names an offered-load model (see the Workload*
 // constants).
 type WorkloadKind = sim.WorkloadKind

@@ -341,6 +341,39 @@ type Evaluation struct {
 	Decoding []cmplxmat.Vector
 }
 
+// EvalOptions parametrizes Plan evaluation beyond the basic power and
+// noise budget. The zero value of the optional fields reproduces the
+// historical behavior exactly: perfect reconstruction given the
+// estimated channels, and continuous Shannon rates.
+type EvalOptions struct {
+	// NodePower is each transmitter's total power budget (split across
+	// its packets); Noise is the receiver noise power.
+	NodePower float64
+	Noise     float64
+	// ResidualCancel models imperfect reconstruct-and-subtract
+	// cancellation (Section 8): a packet decoded at SINR γ is
+	// re-modulated and reconstructed with an effective post-decoding
+	// error of 1/(1+γ) of its received power (the MMSE residual
+	// fraction), and that fraction leaks back as interference at every
+	// later receiver that cancels it. Late packets in a cancellation
+	// chain therefore inherit degraded SINR from the packets before
+	// them — IAC becomes residual-limited at high SNR and collapses
+	// toward the baseline at low SNR. False cancels exactly (up to
+	// channel-estimate mismatch), the historical model.
+	ResidualCancel bool
+	// Rate maps a packet's linear SINR to its rate in bit/s/Hz. Nil
+	// means the continuous Shannon rate log2(1+SINR) (paper Eq. 9); a
+	// discrete MCS table's Rate method models real rate adaptation.
+	Rate func(sinr float64) float64
+	// Decodes reports whether the packet actually decodes at the
+	// realized SINR (e.g. clears its committed MCS rung). A packet that
+	// fails is never reconstructed, so wired plans cannot cancel it:
+	// it keeps interfering at full power in every later step, and the
+	// outage cascades down the chain. Nil means every packet decodes —
+	// the continuous model, where any SINR carries log2(1+SINR).
+	Decodes func(pkt int, sinr float64) bool
+}
+
 // Evaluate computes decoding vectors from the estimated channels and then
 // measures the resulting SINR under the true channels.
 //
@@ -374,6 +407,16 @@ func (p *Plan) Evaluate(trueCS, estCS ChannelSet, nodePower, noise float64) (Eva
 // between Mark/Release pairs. The result is valid until the workspace is
 // reset; copy anything that must outlive it.
 func (p *Plan) EvaluateWS(ws *cmplxmat.Workspace, trueCS, estCS ChannelSet, nodePower, noise float64) (Evaluation, error) {
+	return p.EvaluateOptsWS(ws, trueCS, estCS, EvalOptions{NodePower: nodePower, Noise: noise})
+}
+
+// EvaluateOptsWS is EvaluateWS with the full option set: receiver noise
+// as an operating point, the imperfect-cancellation residual model, and
+// a pluggable SINR→rate mapping. With the optional fields zero it
+// performs the identical floating-point operations in the identical
+// order as the historical EvaluateWS.
+func (p *Plan) EvaluateOptsWS(ws *cmplxmat.Workspace, trueCS, estCS ChannelSet, opts EvalOptions) (Evaluation, error) {
+	nodePower, noise := opts.NodePower, opts.Noise
 	k := p.NumPackets()
 	if err := p.validateWith(ws.Bools(k)); err != nil {
 		return Evaluation{}, err
@@ -434,7 +477,12 @@ func (p *Plan) EvaluateWS(ws *cmplxmat.Workspace, trueCS, estCS ChannelSet, node
 				interf += cmplxAbs2(w.Dot(d)) * powers[q]
 			}
 			// Cancellation residual: packets subtracted using estimated
-			// channels leave (Htrue - Hest) v of leakage.
+			// channels leave (Htrue - Hest) v of leakage, and — under the
+			// ResidualCancel model — an additional 1/(1+SINR_q) fraction of
+			// the cancelled packet's received power, the reconstruction
+			// error inherited from its own decoding quality. ev.SINR[q] is
+			// already measured: a wired plan only cancels packets decoded
+			// in earlier steps.
 			if p.Wired {
 				for q := range p.Owner {
 					if !decoded[q] {
@@ -442,15 +490,28 @@ func (p *Plan) EvaluateWS(ws *cmplxmat.Workspace, trueCS, estCS ChannelSet, node
 					}
 					diff := trueCS[p.Owner[q]][step.Rx].SubWS(ws, estCS[p.Owner[q]][step.Rx])
 					interf += cmplxAbs2(w.Dot(diff.MulVecWS(ws, p.Encoding[q]))) * powers[q]
+					if opts.ResidualCancel {
+						d := trueCS[p.Owner[q]][step.Rx].MulVecWS(ws, p.Encoding[q])
+						interf += cmplxAbs2(w.Dot(d)) * powers[q] / (1 + ev.SINR[q])
+					}
 				}
 			}
 			sinr := sig / (noise + interf)
 			ev.SINR[pkt] = sinr
-			ev.PacketRate[pkt] = stats.ShannonRate(sinr)
+			if opts.Rate != nil {
+				ev.PacketRate[pkt] = opts.Rate(sinr)
+			} else {
+				ev.PacketRate[pkt] = stats.ShannonRate(sinr)
+			}
 			ev.SumRate += ev.PacketRate[pkt]
 		}
 		for _, pkt := range step.Packets {
-			decoded[pkt] = true
+			// A packet that failed to decode cannot be re-modulated and
+			// subtracted (footnote 5 needs the bits); leaving it
+			// un-decoded keeps it as full-power interference downstream.
+			if opts.Decodes == nil || opts.Decodes(pkt, ev.SINR[pkt]) {
+				decoded[pkt] = true
+			}
 		}
 	}
 	return ev, nil

@@ -106,6 +106,7 @@ func Registry() []struct {
 		{"adhoc", AdHocClusters},
 		{"loadsweep", LoadSweep},
 		{"coherence", CoherenceSweep},
+		{"snrsweep", SNRSweep},
 	}
 }
 

@@ -9,7 +9,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 	want := []string{
 		"fig12", "fig13a", "fig13b", "fig14", "fig15a", "fig15b",
 		"fig16", "lemma51", "lemma52", "freqoffset", "overhead", "ethernet",
-		"ofdm", "adhoc", "loadsweep", "coherence",
+		"ofdm", "adhoc", "loadsweep", "coherence", "snrsweep",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

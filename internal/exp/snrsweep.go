@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+
+	"iaclan/internal/sim"
+)
+
+// SNRSweep reproduces the gain-vs-SNR story of the paper's Section 8:
+// IAC's advantage over 802.11 MIMO is a function of the operating
+// point. The sweep raises the receiver noise power in steps (lowering
+// every link's SNR without redrawing any fading) and drives the traffic
+// engine with the full SNR-aware link plane on for both schemes —
+// imperfect reconstruct-and-subtract cancellation (residuals scale with
+// the decoded packet's post-decoding error, so late packets in a chain
+// inherit degraded SINR) and the shared discrete MCS table with
+// per-packet outage.
+//
+// Expected shape: at high SNR IAC multiplexes 4 packets per slot
+// against TDMA's one and the gain approaches the medium-saturation
+// figures, limited by cancellation residuals rather than noise; as the
+// SNR drops, IAC's per-packet power split and inherited residuals push
+// packets below their selected rungs first, and the gain ratio
+// collapses monotonically toward (and past) 1x while the single-stream
+// baseline keeps decoding. The exact-cancellation point at the high-SNR
+// end isolates the residual model's cost.
+func SNRSweep(cfg Config) (Result, error) {
+	noiseDB := []float64{0, 6, 12, 18, 24}
+
+	cycles := cfg.Slots / 4
+	if cycles < 20 {
+		cycles = 20
+	}
+	trials := cfg.Runs
+	if trials < 1 {
+		trials = 1
+	}
+
+	base := sim.Default()
+	base.Seed = cfg.Seed
+	base.Clients = 9
+	base.APs = 3
+	base.Cycles = cycles
+	base.Trials = trials
+	base.Workload = sim.Workload{Kind: sim.Saturated}
+
+	r := Result{
+		ID:         "snrsweep",
+		Title:      "IAC vs 802.11-MIMO across SNR operating points (9 clients, 3 APs, uplink, saturated)",
+		PaperClaim: "Section 8: imperfect cancellation leaves residuals and the gain over 802.11 MIMO narrows at low SNR; both schemes rate-adapt on the same discrete MCS table",
+		Metrics:    map[string]float64{},
+		Series:     map[string][]float64{},
+		Notes: fmt.Sprintf("%d CFP cycles x %d trials per point; noise_db raises receiver noise over the unit-noise convention; residual cancellation + shared MCS table on for both schemes",
+			cycles, trials),
+	}
+
+	for _, db := range noiseDB {
+		iacCfg := base
+		iacCfg.Link = sim.Link{NoiseDB: db, ResidualCancel: true, MCS: true}
+		iac, err := sim.RunSweep(iacCfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("snrsweep iac @%gdB: %w", db, err)
+		}
+		tdmaCfg := iacCfg
+		tdmaCfg.GroupSize = 1
+		tdmaCfg.Picker = sim.PickerFIFO
+		tdma, err := sim.RunSweep(tdmaCfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("snrsweep tdma @%gdB: %w", db, err)
+		}
+
+		suffix := fmt.Sprintf("_db%g", db)
+		r.Metrics["thr_iac"+suffix] = iac.SumThroughputBitsPerSlot
+		r.Metrics["thr_tdma"+suffix] = tdma.SumThroughputBitsPerSlot
+		gain := 0.0
+		if tdma.SumThroughputBitsPerSlot > 0 {
+			gain = iac.SumThroughputBitsPerSlot / tdma.SumThroughputBitsPerSlot
+		}
+		r.Metrics["gain"+suffix] = gain
+		r.Metrics["delivered_iac"+suffix] = iac.DeliveredFraction
+		r.Metrics["delivered_tdma"+suffix] = tdma.DeliveredFraction
+		r.Series["noise_db"] = append(r.Series["noise_db"], db)
+		r.Series["thr_iac"] = append(r.Series["thr_iac"], iac.SumThroughputBitsPerSlot)
+		r.Series["thr_tdma"] = append(r.Series["thr_tdma"], tdma.SumThroughputBitsPerSlot)
+		r.Series["gain"] = append(r.Series["gain"], gain)
+	}
+
+	// Exact-cancellation control at the high-SNR end: the same MCS/noise
+	// model with residuals off isolates what imperfect reconstruction
+	// costs IAC where noise is no excuse.
+	exact := base
+	exact.Link = sim.Link{NoiseDB: noiseDB[0], ResidualCancel: false, MCS: true}
+	ctrl, err := sim.RunSweep(exact)
+	if err != nil {
+		return Result{}, fmt.Errorf("snrsweep exact-cancel control: %w", err)
+	}
+	r.Metrics["thr_iac_exactcancel_db0"] = ctrl.SumThroughputBitsPerSlot
+	if ctrl.SumThroughputBitsPerSlot > 0 {
+		r.Metrics["residual_cost_db0"] = 1 - r.Metrics[fmt.Sprintf("thr_iac_db%g", noiseDB[0])]/ctrl.SumThroughputBitsPerSlot
+	}
+	return r, nil
+}

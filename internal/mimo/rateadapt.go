@@ -1,6 +1,7 @@
 package mimo
 
 import (
+	"iaclan/internal/cmplxmat"
 	"iaclan/internal/sig"
 	"iaclan/internal/stats"
 )
@@ -55,6 +56,160 @@ func PickMCS(ladder []MCS, snrDB float64) (MCS, bool) {
 		}
 	}
 	return best, ok
+}
+
+// RateTable is a discrete rate-adaptation table over an MCS ladder,
+// shared by IAC and the 802.11-MIMO baseline so both schemes quantize
+// to the same rungs (Section 10f): a transmitter selects the fastest
+// rung its planned (estimate-derived) SINR supports, and the packet
+// decodes only if the realized SINR still clears that rung's threshold.
+type RateTable struct {
+	// ladder is sorted by ascending MinSNRdB and ascending rate, the
+	// order Ladder80211 provides.
+	ladder []MCS
+}
+
+// NewRateTable wraps an MCS ladder. The ladder must be non-empty.
+func NewRateTable(ladder []MCS) *RateTable {
+	if len(ladder) == 0 {
+		panic("mimo: empty MCS ladder")
+	}
+	return &RateTable{ladder: ladder}
+}
+
+// DefaultRateTable returns the shared 802.11a/g-style table every
+// SNR-aware experiment uses.
+func DefaultRateTable() *RateTable { return NewRateTable(Ladder80211()) }
+
+// Select returns the fastest rung the linear SINR supports, and false
+// when even the lowest rung is out of reach.
+func (t *RateTable) Select(sinr float64) (MCS, bool) {
+	return PickMCS(t.ladder, stats.DB(sinr))
+}
+
+// Rate maps a linear SINR to the selected rung's bit/s/Hz (bits per
+// symbol per stream), 0 below the lowest rung — the discrete analogue
+// of log2(1+SINR), usable as a core.EvalOptions.Rate.
+func (t *RateTable) Rate(sinr float64) float64 {
+	m, ok := t.Select(sinr)
+	if !ok {
+		return 0
+	}
+	return m.BitsPerSymbol()
+}
+
+// Outage reports whether a packet sent at the rung selected from
+// plannedSINR fails at realizedSINR: the modulation outran the channel.
+// A packet whose planned SINR misses even the lowest rung cannot be
+// sent and counts as an outage too.
+func (t *RateTable) Outage(plannedSINR, realizedSINR float64) bool {
+	m, ok := t.Select(plannedSINR)
+	if !ok {
+		return true
+	}
+	return stats.DB(realizedSINR) < m.MinSNRdB
+}
+
+// AchievedRate returns what a packet planned at plannedSINR actually
+// delivers at realizedSINR: the planned rung's bits when the realized
+// SINR clears its threshold, 0 on outage. Extra realized SNR never
+// yields extra bits — the modulation was fixed at planning time.
+func (t *RateTable) AchievedRate(plannedSINR, realizedSINR float64) float64 {
+	m, ok := t.Select(plannedSINR)
+	if !ok || stats.DB(realizedSINR) < m.MinSNRdB {
+		return 0
+	}
+	return m.BitsPerSymbol()
+}
+
+// AdaptedLink is the 802.11-MIMO point-to-point link under the discrete
+// table: eigenmode precoding and per-stream MCS selection run on the
+// estimated channel (the CSI the transmitter actually has), while each
+// stream's realized SINR is measured on the true channel with those
+// estimated vectors — streams whose selected rung outruns the realized
+// SINR deliver nothing. Returns the planned and achieved sum rates in
+// bit/s/Hz. With hTrue == hEst (perfect CSI) achieved always equals
+// planned.
+func AdaptedLink(t *RateTable, hTrue, hEst *cmplxmat.Matrix, totalPower, noise float64) (planned, achieved float64) {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	return AdaptedLinkWS(ws, t, hTrue, hEst, totalPower, noise)
+}
+
+// AdaptedLinkWS is AdaptedLink over workspace scratch, releasing
+// everything it allocated before returning.
+func AdaptedLinkWS(ws *cmplxmat.Workspace, t *RateTable, hTrue, hEst *cmplxmat.Matrix, totalPower, noise float64) (planned, achieved float64) {
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	p := EigenmodeWS(ws, hEst, totalPower, noise)
+	// Hoist the true-channel response of each transmitted stream: d_j =
+	// Htrue v_j is reused by every receive projection below. Streams
+	// below the lowest rung are not sent at all (nil response): a
+	// point-to-point transmitter simply omits them — unlike an IAC
+	// slot, whose jointly-constructed packets stay on the air even when
+	// unsendable (see testbed.Env.planOpts).
+	dirs := make([]cmplxmat.Vector, len(p.Powers))
+	for j, pj := range p.Powers {
+		if pj <= 0 {
+			continue
+		}
+		if _, sent := t.Select(pj * p.Gains[j]); sent {
+			dirs[j] = hTrue.MulVecWS(ws, p.TxVectors[j])
+		}
+	}
+	for i, pw := range p.Powers {
+		if pw <= 0 || dirs[i] == nil {
+			continue
+		}
+		plannedSINR := pw * p.Gains[i]
+		m, _ := t.Select(plannedSINR) // dirs[i] != nil implies a rung
+		planned += m.BitsPerSymbol()
+		// Realized per-stream SINR: the receiver projects the true
+		// channel's output onto the estimated left singular vector, so
+		// estimate error both attenuates the signal and leaks the other
+		// streams' power in as inter-stream interference.
+		sig := cmplxAbs2(p.RxVectors[i].Dot(dirs[i])) * pw
+		interf := 0.0
+		for j, pj := range p.Powers {
+			if j == i || dirs[j] == nil {
+				continue
+			}
+			interf += cmplxAbs2(p.RxVectors[i].Dot(dirs[j])) * pj
+		}
+		if stats.DB(sig/(noise+interf)) >= m.MinSNRdB {
+			achieved += m.BitsPerSymbol()
+		}
+	}
+	return planned, achieved
+}
+
+func cmplxAbs2(c complex128) float64 {
+	return real(c)*real(c) + imag(c)*imag(c)
+}
+
+// AdaptedBestAP picks the AP with the highest planned discrete rate —
+// the client associates by the CSI it has — and returns that link's
+// planned and achieved rates. trueChans and estChans must be parallel
+// non-empty slices.
+func AdaptedBestAP(t *RateTable, trueChans, estChans []*cmplxmat.Matrix, totalPower, noise float64) (planned, achieved float64) {
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	return AdaptedBestAPWS(ws, t, trueChans, estChans, totalPower, noise)
+}
+
+// AdaptedBestAPWS is AdaptedBestAP over workspace scratch.
+func AdaptedBestAPWS(ws *cmplxmat.Workspace, t *RateTable, trueChans, estChans []*cmplxmat.Matrix, totalPower, noise float64) (planned, achieved float64) {
+	if len(trueChans) == 0 || len(trueChans) != len(estChans) {
+		panic("mimo: AdaptedBestAP channel slices empty or mismatched")
+	}
+	best := -1.0
+	for i := range estChans {
+		p, a := AdaptedLinkWS(ws, t, trueChans[i], estChans[i], totalPower, noise)
+		if p > best {
+			best, planned, achieved = p, p, a
+		}
+	}
+	return planned, achieved
 }
 
 // AdaptedThroughput maps a set of per-packet linear SINRs onto ladder

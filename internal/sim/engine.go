@@ -37,9 +37,10 @@ type groupOutcome struct {
 	perClient map[int]float64
 	// planned maps scenario client index to the rate the leader planned
 	// the client's packets at (from the last training survey). Non-nil
-	// only under channel dynamics, where achieved-vs-planned decides
-	// outage losses; the head-only fallback leaves it nil (the baseline
-	// is granted ideal rate adaptation).
+	// under channel dynamics and under the MCS link plane, where
+	// achieved-vs-planned decides outage losses; in the legacy
+	// continuous model the head-only fallback leaves it nil (the
+	// baseline is granted ideal rate adaptation).
 	planned map[int]float64
 	packets int
 }
@@ -97,9 +98,15 @@ func newEngine(cfg Config) (*engine, error) {
 		worldNodes = 20
 	}
 	world := channel.NewTestbed(channel.DefaultParams(), cfg.Seed, worldNodes, roomMeters)
+	scenario := testbed.PickScenario(world, cfg.Clients, cfg.APs)
+	// The link environment rides on the scenario: every slot runner,
+	// estimate draw, and baseline rate below sees the same operating
+	// point. The zero-value Link yields the zero-value Env, the legacy
+	// model.
+	scenario.Env = cfg.Link.env()
 	e := &engine{
 		cfg:       cfg,
-		scenario:  testbed.PickScenario(world, cfg.Clients, cfg.APs),
+		scenario:  scenario,
 		rng:       rand.New(rand.NewSource(cfg.Seed + 7)),
 		hub:       backend.NewMemHub(cfg.APs),
 		cache:     map[groupKey]groupOutcome{},
@@ -116,6 +123,12 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.chans = testbed.NewSlotCache(e.scenario)
 	e.cacheEpoch = e.scenario.World.Epoch()
+	if cfg.Link.MCS {
+		// The MCS outage rule compares achieved against planned rates,
+		// so the slot runners must report the planner's side even on a
+		// static channel.
+		e.chans.TrackPlannedRates(true)
+	}
 	e.dyn = cfg.Dynamics.normalized()
 	if e.dyn.enabled() {
 		e.dynRng = rand.New(rand.NewSource(cfg.Seed + 13))
@@ -282,10 +295,10 @@ func (e *engine) runSlot(group []mac.ClientID) mac.SlotResult {
 			res.Lost[i] = true
 			continue
 		}
-		if p, ok := out.planned[int(c)]; ok && r < e.dyn.OutageFraction*p {
-			// Outage: the modulation picked from the last training
-			// survey outran what the drifted channel carries. The AP
-			// reports the loss to the leader; the packet retries.
+		if p, ok := out.planned[int(c)]; ok && e.outage(r, p) {
+			// Outage: the modulation picked from the planner's CSI
+			// outran what the realized channel carries. The AP reports
+			// the loss to the leader; the packet retries.
 			res.Lost[i] = true
 			e.publish(backend.MsgLossReport, nil)
 			continue
@@ -298,6 +311,20 @@ func (e *engine) runSlot(group []mac.ClientID) mac.SlotResult {
 		e.publish(backend.MsgDecodedPacket, e.payload)
 	}
 	return res
+}
+
+// outage is the unified rate/outage rule. Under the MCS link plane a
+// client's packets are lost when any of them missed its selected rung
+// (achieved falls short of planned) or when even the lowest rung was
+// out of reach at planning time (planned 0). In the legacy continuous
+// model — where planned rates exist only under channel dynamics — a
+// packet is lost when the achieved rate falls below OutageFraction of
+// the planned one.
+func (e *engine) outage(achieved, planned float64) bool {
+	if e.scenario.Env.MCS != nil {
+		return planned <= 0 || achieved < planned
+	}
+	return achieved < e.dyn.OutageFraction*planned
 }
 
 func (e *engine) publish(t backend.MsgType, payload []byte) {
@@ -360,7 +387,7 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 		idx[i] = int(c)
 	}
 	na := len(e.scenario.APs)
-	sub := testbed.Scenario{World: e.scenario.World}
+	sub := testbed.Scenario{World: e.scenario.World, Env: e.scenario.Env}
 	for _, i := range idx {
 		sub.Clients = append(sub.Clients, e.scenario.Clients[i])
 	}
@@ -382,6 +409,20 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 		res, err = testbed.RunDownlinkSlotWS(e.ws, e.chans, sub, e.rng)
 	default:
 		head := idx[0]
+		if e.scenario.Env.MCS != nil {
+			// The baseline rides the same discrete table: modulation
+			// from the training estimates, outage when the realized
+			// stream SINR misses the selected rung.
+			var planned, achieved float64
+			if e.cfg.Uplink {
+				planned, achieved = e.chans.AdaptedBaselineUplink(head, e.rng)
+			} else {
+				planned, achieved = e.chans.AdaptedBaselineDownlink(head, e.rng)
+			}
+			return groupOutcome{ok: true, sumRate: achieved,
+				perClient: map[int]float64{head: achieved},
+				planned:   map[int]float64{head: planned}, packets: 1}
+		}
 		var r float64
 		if e.cfg.Uplink {
 			r = e.chans.BaselineUplinkRate(head)

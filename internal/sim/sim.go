@@ -67,6 +67,11 @@ type Config struct {
 	// re-training schedule with its airtime cost. The zero value runs
 	// the static channel of earlier revisions.
 	Dynamics Dynamics
+	// Link configures the SNR-aware link plane: the receiver-noise
+	// operating point, imperfect-cancellation residuals, and the shared
+	// discrete MCS rate/outage model. The zero value runs the legacy
+	// link model (unit noise, exact cancellation, Shannon rates).
+	Link Link
 	// PacketBytes is the payload size of every data packet.
 	PacketBytes int
 	// Trials and Workers configure RunTrials-based sweeps: Trials
@@ -185,6 +190,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("sim: PacketBytes must be >= 1")
 	}
 	if err := c.Dynamics.validate(); err != nil {
+		return err
+	}
+	if err := c.Link.validate(); err != nil {
 		return err
 	}
 	return c.Workload.validate()

@@ -40,6 +40,10 @@ type SlotCache struct {
 	chans    map[chanKey]*cmplxmat.Matrix
 	ests     map[chanKey]*cmplxmat.Matrix
 	base     map[baseKey]float64
+	// adapted memoizes the discrete-rate baseline (planned, achieved)
+	// per client. It depends on both the true channel (epoch clock) and
+	// the training estimates (retrain clock), so it drops on either.
+	adapted map[baseKey]adaptedRate
 	// manualRetrain decouples the estimate memo from the world epoch:
 	// estimates survive fading mutations and drop only on Retrain.
 	manualRetrain bool
@@ -58,6 +62,9 @@ type baseKey struct {
 	uplink bool
 }
 
+// adaptedRate is one memoized discrete-rate baseline outcome.
+type adaptedRate struct{ planned, achieved float64 }
+
 // NewSlotCache creates an empty cache bound to the scenario's world and
 // AP set.
 func NewSlotCache(s Scenario) *SlotCache {
@@ -67,6 +74,8 @@ func NewSlotCache(s Scenario) *SlotCache {
 		chans:    map[chanKey]*cmplxmat.Matrix{},
 		ests:     map[chanKey]*cmplxmat.Matrix{},
 		base:     map[baseKey]float64{},
+		// adapted is allocated on first use: only MCS-mode trials pay
+		// for it (clear of a nil map is a no-op).
 	}
 }
 
@@ -85,8 +94,13 @@ func (c *SlotCache) TrackPlannedRates(on bool) { c.trackPlanned = on }
 
 // Retrain models one training round: every cached estimate is dropped,
 // so the next lookups re-survey the current channel state. True channels
-// and baseline rates are keyed to the world epoch and are unaffected.
-func (c *SlotCache) Retrain() { clear(c.ests) }
+// and baseline rates are keyed to the world epoch and are unaffected;
+// the adapted-baseline memo depends on the estimates and drops with
+// them.
+func (c *SlotCache) Retrain() {
+	clear(c.ests)
+	clear(c.adapted)
+}
 
 // ensure drops the epoch-keyed memos when the world's channel epoch has
 // moved. Estimates follow the epoch too unless manual re-training pins
@@ -98,6 +112,7 @@ func (c *SlotCache) ensure() {
 			clear(c.ests)
 		}
 		clear(c.base)
+		clear(c.adapted)
 		c.epoch = e
 	}
 }
@@ -124,7 +139,7 @@ func (c *SlotCache) Estimated(tx, rx *channel.Node, rng *rand.Rand) *cmplxmat.Ma
 	if h, ok := c.ests[k]; ok {
 		return h
 	}
-	h := channel.NoisyEstimate(c.Channel(tx, rx), channel.EstimationSigma(TrainSymbols), rng)
+	h := channel.NoisyEstimate(c.Channel(tx, rx), c.scenario.Env.EstimationSigma(), rng)
 	c.ests[k] = h
 	return h
 }
@@ -158,10 +173,56 @@ func (c *SlotCache) baselineRate(client int, uplink bool) float64 {
 		} else {
 			h = c.Channel(ap, c.scenario.Clients[client])
 		}
-		if r := mimo.EigenmodeRateWS(ws, h, NodePower, NoisePower); r > best {
+		if r := mimo.EigenmodeRateWS(ws, h, NodePower, c.scenario.Env.Noise()); r > best {
 			best = r
 		}
 	}
 	c.base[k] = best
 	return best
+}
+
+// AdaptedBaselineUplink is the client's 802.11-MIMO uplink link under
+// the scenario's shared MCS table: rate selection on the training
+// estimates, realized SINRs on the true channel, per-stream outage.
+// Returns (planned, achieved) in bit/s/Hz, memoized until either the
+// channel epoch or the training clock moves. The scenario Env must have
+// MCS set.
+func (c *SlotCache) AdaptedBaselineUplink(client int, rng *rand.Rand) (planned, achieved float64) {
+	return c.adaptedBaseline(client, true, rng)
+}
+
+// AdaptedBaselineDownlink is AdaptedBaselineUplink for the downlink.
+func (c *SlotCache) AdaptedBaselineDownlink(client int, rng *rand.Rand) (planned, achieved float64) {
+	return c.adaptedBaseline(client, false, rng)
+}
+
+func (c *SlotCache) adaptedBaseline(client int, uplink bool, rng *rand.Rand) (planned, achieved float64) {
+	table := c.scenario.Env.MCS
+	if table == nil {
+		panic("testbed: adapted baseline needs Env.MCS")
+	}
+	c.ensure()
+	k := baseKey{client, uplink}
+	if r, ok := c.adapted[k]; ok {
+		return r.planned, r.achieved
+	}
+	trueChans := make([]*cmplxmat.Matrix, len(c.scenario.APs))
+	estChans := make([]*cmplxmat.Matrix, len(c.scenario.APs))
+	for j, ap := range c.scenario.APs {
+		if uplink {
+			trueChans[j] = c.Channel(c.scenario.Clients[client], ap)
+			estChans[j] = c.Estimated(c.scenario.Clients[client], ap, rng)
+		} else {
+			trueChans[j] = c.Channel(ap, c.scenario.Clients[client])
+			estChans[j] = c.Estimated(ap, c.scenario.Clients[client], rng)
+		}
+	}
+	ws := cmplxmat.GetWorkspace()
+	defer cmplxmat.PutWorkspace(ws)
+	planned, achieved = mimo.AdaptedBestAPWS(ws, table, trueChans, estChans, NodePower, c.scenario.Env.Noise())
+	if c.adapted == nil {
+		c.adapted = map[baseKey]adaptedRate{}
+	}
+	c.adapted[k] = adaptedRate{planned, achieved}
+	return planned, achieved
 }

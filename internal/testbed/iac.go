@@ -61,7 +61,7 @@ func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketR
 	var baseTrue, baseEst core.ChannelSet
 	if cache == nil {
 		baseTrue = Permute(s.UplinkChannels(), order)
-		baseEst = Estimate(baseTrue, rng)
+		baseEst = EstimateEnv(baseTrue, s.Env, rng)
 	} else {
 		baseTrue = core.NewChannelSet(nc, na)
 		baseEst = core.NewChannelSet(nc, na)
@@ -87,19 +87,33 @@ func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketR
 	// The leader chooses which AP plays which role in the construction
 	// by estimated rate (Section 7.1: the concurrency algorithm decides
 	// AP assignments along with the vectors).
-	plan, trueCS, err := bestRxAssignment(ws.Mat, baseTrue, baseEst, solve, cache != nil && cache.trackPlanned)
+	track := (cache != nil && cache.trackPlanned) || s.Env.MCS != nil
+	plan, trueCS, err := bestRxAssignment(ws.Mat, baseTrue, baseEst, solve, s.Env.planOpts(), track)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
 	mark := ws.Mat.Mark()
 	defer ws.Mat.Release(mark)
-	ev, err := plan.EvaluateWS(ws.Mat, trueCS, plan.PlannedChannels, NodePower, NoisePower)
+	ev, err := plan.EvaluateOptsWS(ws.Mat, trueCS, plan.PlannedChannels, s.Env.trueOptsFor(plan.PlannedSINR))
 	if err != nil {
 		return SlotOutcome{}, err
 	}
 	out := SlotOutcome{SumRate: ev.SumRate, PerClient: map[int]float64{}, Plan: plan.Plan}
-	for pkt, owner := range plan.Owner {
-		out.PerClient[order[owner]] += ev.PacketRate[pkt]
+	if mcs := s.Env.MCS; mcs != nil {
+		// Discrete rate adaptation: each packet was committed to the
+		// rung its planned SINR selected; it delivers that rung's bits
+		// when the realized SINR clears the threshold, nothing on
+		// outage.
+		out.SumRate = 0
+		for pkt, owner := range plan.Owner {
+			r := mcs.AchievedRate(plan.PlannedSINR[pkt], ev.SINR[pkt])
+			out.PerClient[order[owner]] += r
+			out.SumRate += r
+		}
+	} else {
+		for pkt, owner := range plan.Owner {
+			out.PerClient[order[owner]] += ev.PacketRate[pkt]
+		}
 	}
 	if plan.PlannedRate != nil {
 		out.PlannedPerClient = make(map[int]float64, len(out.PerClient))
@@ -122,8 +136,13 @@ type plannedPlan struct {
 	PlannedChannels core.ChannelSet
 	// PlannedRate is the winner's estimated per-packet rate, copied out
 	// of the workspace before its scratch is released. Nil unless the
-	// assignment search ran with trackPlanned.
+	// assignment search ran with trackPlanned. In MCS mode the rates
+	// are already quantized to the shared table.
 	PlannedRate []float64
+	// PlannedSINR is the winner's estimated per-packet SINR, tracked
+	// alongside PlannedRate — the quantity the MCS outage rule compares
+	// the realized SINR against.
+	PlannedSINR []float64
 }
 
 // solveFunc is one construction solver bound to a slot shape, running its
@@ -132,7 +151,7 @@ type solveFunc func(ws *cmplxmat.Workspace, est core.ChannelSet) (*core.Plan, er
 
 // bestTxAssignment mirrors bestRxAssignment over the transmitter axis
 // (downlink: which AP carries which packet).
-func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc, trackPlanned bool) (plannedPlan, core.ChannelSet, error) {
+func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc, opts core.EvalOptions, trackPlanned bool) (plannedPlan, core.ChannelSet, error) {
 	var best plannedPlan
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
@@ -147,7 +166,7 @@ func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 				ws.Release(mark)
 				continue
 			}
-			ev, err := plan.EvaluateWS(ws, est, est, NodePower, NoisePower)
+			ev, err := plan.EvaluateOptsWS(ws, est, est, opts)
 			if err != nil {
 				lastErr = err
 				ws.Release(mark)
@@ -159,8 +178,13 @@ func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 				// release below reclaims the candidate's memory.
 				winner := plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
 				if trackPlanned {
-					// The previous winner's buffer is dead; reuse it.
+					// The previous winner's buffers are dead; reuse them.
 					winner.PlannedRate = append(best.PlannedRate[:0], ev.PacketRate...)
+					if opts.Rate != nil {
+						// Planner SINRs feed the MCS outage rule only;
+						// dynamics-mode tracking skips them.
+						winner.PlannedSINR = append(best.PlannedSINR[:0], ev.SINR...)
+					}
 				}
 				best = winner
 				bestTrue = Permute(trueCS, perm)
@@ -179,7 +203,7 @@ func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 // the winner together with the true channels in the same order. Each
 // attempt's scratch is released before the next begins — plans are
 // heap-allocated, so keeping the winner is safe.
-func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc, trackPlanned bool) (plannedPlan, core.ChannelSet, error) {
+func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, solve solveFunc, opts core.EvalOptions, trackPlanned bool) (plannedPlan, core.ChannelSet, error) {
 	var best plannedPlan
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
@@ -199,7 +223,7 @@ func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 				continue
 			}
 			// Score with the planner's knowledge only (estimates).
-			ev, err := plan.EvaluateWS(ws, est, est, NodePower, NoisePower)
+			ev, err := plan.EvaluateOptsWS(ws, est, est, opts)
 			if err != nil {
 				lastErr = err
 				ws.Release(mark)
@@ -211,8 +235,13 @@ func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 				// release below reclaims the candidate's memory.
 				winner := plannedPlan{Plan: plan.Clone(), PlannedChannels: est}
 				if trackPlanned {
-					// The previous winner's buffer is dead; reuse it.
+					// The previous winner's buffers are dead; reuse them.
 					winner.PlannedRate = append(best.PlannedRate[:0], ev.PacketRate...)
+					if opts.Rate != nil {
+						// Planner SINRs feed the MCS outage rule only;
+						// dynamics-mode tracking skips them.
+						winner.PlannedSINR = append(best.PlannedSINR[:0], ev.SINR...)
+					}
 				}
 				best = winner
 				bestTrue = PermuteRx(trueCS, perm)
@@ -242,7 +271,7 @@ func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *ran
 	var baseTrue, baseEst core.ChannelSet
 	if cache == nil {
 		baseTrue = s.DownlinkChannels()
-		baseEst = Estimate(baseTrue, rng)
+		baseEst = EstimateEnv(baseTrue, s.Env, rng)
 	} else {
 		baseTrue = core.NewChannelSet(na, nc)
 		baseEst = core.NewChannelSet(na, nc)
@@ -258,20 +287,21 @@ func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *ran
 		case nc == 3 && na == 3:
 			return core.SolveDownlinkTriangleWS(ws, est)
 		case nc == 1 && na == 2:
-			return core.SolveDownlinkDiversity(est, rng, NodePower, NoisePower)
+			return core.SolveDownlinkDiversity(est, rng, NodePower, s.Env.Noise())
 		default:
 			return nil, fmt.Errorf("testbed: unsupported downlink shape %dx%d clients/APs", nc, na)
 		}
 	}
 	// Downlink roles: the permutation runs over the transmitter (AP)
 	// axis here, deciding which AP carries which client's packet.
-	plan, trueCS, err := bestTxAssignment(ws.Mat, baseTrue, baseEst, solve, cache != nil && cache.trackPlanned)
+	track := (cache != nil && cache.trackPlanned) || s.Env.MCS != nil
+	plan, trueCS, err := bestTxAssignment(ws.Mat, baseTrue, baseEst, solve, s.Env.planOpts(), track)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
 	mark := ws.Mat.Mark()
 	defer ws.Mat.Release(mark)
-	ev, err := plan.EvaluateWS(ws.Mat, trueCS, plan.PlannedChannels, NodePower, NoisePower)
+	ev, err := plan.EvaluateOptsWS(ws.Mat, trueCS, plan.PlannedChannels, s.Env.trueOptsFor(plan.PlannedSINR))
 	if err != nil {
 		return SlotOutcome{}, err
 	}
@@ -279,11 +309,21 @@ func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *ran
 	if plan.PlannedRate != nil {
 		out.PlannedPerClient = make(map[int]float64, len(out.PerClient))
 	}
+	mcs := s.Env.MCS
+	if mcs != nil {
+		out.SumRate = 0
+	}
 	for pkt := range plan.Owner {
 		// Downlink packets are destined to the receiver that decodes
 		// them; attribute each packet to that client.
 		client := downlinkDestination(plan.Plan, pkt)
-		out.PerClient[client] += ev.PacketRate[pkt]
+		if mcs != nil {
+			r := mcs.AchievedRate(plan.PlannedSINR[pkt], ev.SINR[pkt])
+			out.PerClient[client] += r
+			out.SumRate += r
+		} else {
+			out.PerClient[client] += ev.PacketRate[pkt]
+		}
 		if out.PlannedPerClient != nil {
 			out.PlannedPerClient[client] += plan.PlannedRate[pkt]
 		}

@@ -6,6 +6,7 @@
 package testbed
 
 import (
+	"math"
 	"math/rand"
 
 	"iaclan/internal/channel"
@@ -29,11 +30,101 @@ const (
 	TrainSymbols = 64
 )
 
+// Env is a scenario's link-plane operating point: receiver noise power,
+// the imperfect-cancellation residual model, and the discrete rate
+// adaptation shared by IAC and the 802.11-MIMO baseline. The zero value
+// reproduces the paper-convention defaults exactly (unit noise, exact
+// reconstruction given the estimated channels, continuous Shannon
+// rates), so scenarios built before the SNR-aware link plane behave
+// bit for bit as they always did.
+type Env struct {
+	// NoisePower is the receiver noise power; 0 means the NoisePower
+	// constant (1.0, the convention under which the world's path gains
+	// are per-antenna SNRs). Raising it lowers every link's SNR by the
+	// same factor without redrawing any fading, which makes it the
+	// clean per-scenario SNR axis.
+	NoisePower float64
+	// ResidualCancel switches reconstruct-and-subtract cancellation to
+	// the imperfect model of core.EvalOptions.ResidualCancel: a
+	// cancelled packet leaks 1/(1+SINR) of its power back as
+	// interference, so late packets in a chain inherit degraded SINR.
+	ResidualCancel bool
+	// MCS enables discrete rate adaptation and per-packet outage on the
+	// shared table for both IAC slots and baseline links. Nil keeps the
+	// continuous Shannon metric with no outages.
+	MCS *mimo.RateTable
+}
+
+// Noise resolves the effective receiver noise power.
+func (e Env) Noise() float64 {
+	if e.NoisePower <= 0 {
+		return NoisePower
+	}
+	return e.NoisePower
+}
+
+// EstimationSigma is the per-entry channel-estimate noise at this
+// operating point: training symbols are received over the same noisy
+// front end, so estimates degrade as the SNR drops. At unit noise it is
+// exactly the historical channel.EstimationSigma(TrainSymbols).
+func (e Env) EstimationSigma() float64 {
+	sigma := channel.EstimationSigma(TrainSymbols)
+	if e.NoisePower > 0 {
+		sigma *= math.Sqrt(e.NoisePower)
+	}
+	return sigma
+}
+
+// planOpts are the evaluation options the leader scores candidate plans
+// with (estimates only): it anticipates its own residual floor and, in
+// MCS mode, quantizes candidate rates to the shared table and treats a
+// packet whose planned SINR misses even the lowest rung as undecodable
+// (it cannot be sent, so nothing downstream may cancel it).
+//
+// Deliberate asymmetry with the baseline: an IAC slot's packets are a
+// joint construction — the encoding vectors and the per-node power
+// split are committed together, so an unsendable packet's power still
+// rides the committed waveform and interferes, while a point-to-point
+// baseline transmitter simply omits an unsendable stream
+// (mimo.AdaptedLinkWS). This is conservative for IAC's reported
+// low-SNR gains.
+func (e Env) planOpts() core.EvalOptions {
+	opts := core.EvalOptions{NodePower: NodePower, Noise: e.Noise(), ResidualCancel: e.ResidualCancel}
+	if e.MCS != nil {
+		opts.Rate = e.MCS.Rate
+		opts.Decodes = func(_ int, sinr float64) bool {
+			_, ok := e.MCS.Select(sinr)
+			return ok
+		}
+	}
+	return opts
+}
+
+// trueOptsFor are the evaluation options for measuring a committed plan
+// on the true channels. Rates stay continuous here even in MCS mode
+// (the discrete achieved-rate rule needs the planned rung, which the
+// slot runners apply per packet); what MCS mode changes is decodability:
+// a packet whose realized SINR misses its committed rung (selected from
+// plannedSINR) fails, is never reconstructed, and keeps interfering
+// with every later step of a wired chain.
+func (e Env) trueOptsFor(plannedSINR []float64) core.EvalOptions {
+	opts := core.EvalOptions{NodePower: NodePower, Noise: e.Noise(), ResidualCancel: e.ResidualCancel}
+	if e.MCS != nil {
+		opts.Decodes = func(pkt int, sinr float64) bool {
+			return !e.MCS.Outage(plannedSINR[pkt], sinr)
+		}
+	}
+	return opts
+}
+
 // Scenario is a selected set of clients and APs within a world.
 type Scenario struct {
 	World   *channel.World
 	Clients []*channel.Node
 	APs     []*channel.Node
+	// Env is the scenario's link-plane operating point; the zero value
+	// is the paper-convention default.
+	Env Env
 }
 
 // PickScenario draws numClients + numAPs distinct random nodes from the
@@ -68,7 +159,13 @@ func (s Scenario) DownlinkChannels() core.ChannelSet {
 // Estimate corrupts a channel set with training-length-limited estimation
 // noise, giving the planner the same imperfect knowledge a real AP has.
 func Estimate(cs core.ChannelSet, rng *rand.Rand) core.ChannelSet {
-	sigma := channel.EstimationSigma(TrainSymbols)
+	return EstimateEnv(cs, Env{}, rng)
+}
+
+// EstimateEnv is Estimate at an explicit operating point: the estimate
+// noise scales with the environment's receiver noise power.
+func EstimateEnv(cs core.ChannelSet, env Env, rng *rand.Rand) core.ChannelSet {
+	sigma := env.EstimationSigma()
 	out := core.NewChannelSet(cs.NumTx(), cs.NumRx())
 	for t := range cs {
 		for r := range cs[t] {
@@ -145,7 +242,7 @@ func BaselineUplinkRate(s Scenario, client int) float64 {
 	for j, ap := range s.APs {
 		chans[j] = s.World.Channel(s.Clients[client], ap)
 	}
-	_, rate := mimo.BestAP(chans, NodePower, NoisePower)
+	_, rate := mimo.BestAP(chans, NodePower, s.Env.Noise())
 	return rate
 }
 
@@ -156,7 +253,7 @@ func BaselineDownlinkRate(s Scenario, client int) float64 {
 	for j, ap := range s.APs {
 		chans[j] = s.World.Channel(ap, s.Clients[client])
 	}
-	_, rate := mimo.BestAP(chans, NodePower, NoisePower)
+	_, rate := mimo.BestAP(chans, NodePower, s.Env.Noise())
 	return rate
 }
 

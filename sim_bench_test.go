@@ -63,6 +63,26 @@ func BenchmarkSimulateDynamics(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateSNR is BenchmarkSimulate with the SNR-aware link
+// plane on: a raised noise floor, residual cancellation (an extra
+// true-channel product per cancelled packet per later receiver), and
+// the discrete MCS path — planned-rate tracking in the slot runners,
+// per-packet rung lookups, and the adapted (estimate-planned, outage-
+// checked) baseline fallback. This gates the link plane's hot paths the
+// static Shannon benchmark never touches.
+func BenchmarkSimulateSNR(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = 120
+	cfg.Trials = 1
+	cfg.Link = sim.Link{NoiseDB: 8, ResidualCancel: true, MCS: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimCFPCycle(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = b.N
