@@ -11,6 +11,7 @@
 //	iacsim -dir down -workload saturated -picker brute-force
 //	iacsim -workload saturated -eps 0.35 -retrain 8 -mobility -compare
 //	iacsim -workload saturated -noise-db 12 -residual -mcs -compare
+//	iacsim -aps 4 -cells 4 -leak 0.15 -workload saturated -mcs
 package main
 
 import (
@@ -49,6 +50,9 @@ func main() {
 		noiseDB  = flag.Float64("noise-db", 0, "receiver noise power in dB over the unit-noise convention (lowers every link's SNR by this much)")
 		residual = flag.Bool("residual", false, "imperfect cancellation: residues scale with the decoded packet's error")
 		mcs      = flag.Bool("mcs", false, "discrete MCS rate adaptation with per-packet outage for both schemes")
+
+		cells = flag.Int("cells", 1, "multi-cell campus: number of cells (each -clients x -aps)")
+		leak  = flag.Float64("leak", 0.1, "inter-cell interference leakage per neighbour cell in [0,1]")
 	)
 	flag.Parse()
 	if *dir != "up" && *dir != "down" {
@@ -84,6 +88,12 @@ func main() {
 		}
 	}
 	cfg.Link = iaclan.SimLink{NoiseDB: *noiseDB, ResidualCancel: *residual, MCS: *mcs}
+	if *cells != 1 {
+		// Pass non-default values through even when invalid (negative
+		// counts, leak out of range) so the engine's validation reports
+		// them instead of silently running a single cell.
+		cfg.Cells = iaclan.SimCells{Count: *cells, Leak: *leak}
+	}
 
 	fmt.Printf("IAC traffic simulation: %d clients, %d APs, %s-link, %s load %.3g pkt/slot, %d cycles x %d trials\n",
 		cfg.Clients, cfg.APs, *dir, *workload, *load, cfg.Cycles, cfg.Trials)
@@ -101,6 +111,42 @@ func main() {
 		fmt.Printf("link plane: noise %+.3g dB, residual cancellation %v, discrete MCS %v\n",
 			*noiseDB, *residual, *mcs)
 	}
+	if *cells > 1 {
+		fmt.Printf("campus: %d cells x (%d clients, %d APs), leakage %.2g per neighbour\n",
+			*cells, cfg.Clients, cfg.APs, *leak)
+		start := time.Now()
+		res, err := iaclan.SimulateCampus(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		fmt.Printf("\n%-6s %-18s %-12s %-10s\n", "cell", "thr [bits/slot]", "delivered", "p95 lat")
+		for i, c := range res.PerCell {
+			fmt.Printf("%-6d %-18.1f %-12s %-10.1f\n",
+				i, c.SumThroughputBitsPerSlot,
+				fmt.Sprintf("%.1f%%", 100*c.DeliveredFraction), c.P95LatencySlots)
+		}
+		fmt.Println("\ncampus aggregate:")
+		fmt.Print(res.Campus)
+		fmt.Printf("wall time %v (%d workers)\n", wall.Round(time.Millisecond), res.Campus.Workers)
+		if *compare && cfg.GroupSize > 1 {
+			base := cfg
+			base.GroupSize = 1
+			base.Picker = iaclan.PickerFIFO
+			bres, err := iaclan.SimulateCampus(base)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nTDMA baseline campus: %.1f bits/slot, latency mean %.1f slots\n",
+				bres.Campus.SumThroughputBitsPerSlot, bres.Campus.MeanLatencySlots)
+			if bres.Campus.SumThroughputBitsPerSlot > 0 {
+				fmt.Printf("IAC throughput gain: %.2fx\n",
+					res.Campus.SumThroughputBitsPerSlot/bres.Campus.SumThroughputBitsPerSlot)
+			}
+		}
+		return
+	}
+
 	start := time.Now()
 	res, err := iaclan.Simulate(cfg)
 	if err != nil {

@@ -119,6 +119,64 @@ func TestPaperConformanceDoF(t *testing.T) {
 	}
 }
 
+// TestPaperConformanceScaleUp pins the N-AP scaling story of the
+// scaleup experiment: the constructive packet ladder is exact and
+// monotone (3 packets at 2 APs, the Lemma 5.2 ceiling of 2M = 4 from
+// three APs up), the measured IAC/MIMO gain grows when the third AP
+// unlocks the full chain and stays on the plateau as further APs merely
+// spread it, and campus throughput grows with the cell count.
+func TestPaperConformanceScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 conformance suite; skipped with -short")
+	}
+	// Reduced scale, as for the SNR trend: the assertions are about
+	// ordering and exact DoF counts, not absolute throughput.
+	cfg := ExperimentConfig{Seed: 1, Trials: 8, Slots: 200, Runs: 2}
+	r, err := RunExperiment("scaleup", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := r.Series["packets"]
+	aps := r.Series["aps"]
+	if len(packets) < 3 || len(packets) != len(aps) {
+		t.Fatalf("malformed scaleup series: %d packets for %d AP points", len(packets), len(aps))
+	}
+	ceiling := 0.0
+	for i := range packets {
+		if i > 0 && packets[i] < packets[i-1] {
+			t.Errorf("packet ladder fell from %v to %v between %g and %g APs",
+				packets[i-1], packets[i], aps[i-1], aps[i])
+		}
+		if packets[i] > ceiling {
+			ceiling = packets[i]
+		}
+	}
+	if ceiling != 4 { // 2M for the 2-antenna testbed
+		t.Errorf("packet ceiling %v, Lemma 5.2 promises 4", ceiling)
+	}
+	if g2, g3 := r.Metrics["gain_aps2"], r.Metrics["gain_aps3"]; g3 <= g2 {
+		t.Errorf("gain did not grow with the third AP: %.3f at 2 APs vs %.3f at 3", g2, g3)
+	}
+	if g3 := r.Metrics["gain_aps3"]; g3 < 1.5 {
+		t.Errorf("3-AP gain %.3f; want IAC's multiplexing advantage >= 1.5x", g3)
+	}
+	for _, n := range []string{"4", "5"} {
+		if g := r.Metrics["gain_aps"+n]; g < 0.85*r.Metrics["gain_aps3"] {
+			t.Errorf("gain collapsed past the DoF ceiling: %.3f at %s APs vs %.3f at 3",
+				g, n, r.Metrics["gain_aps3"])
+		}
+	}
+	thr := r.Series["thr_campus"]
+	if len(thr) < 2 {
+		t.Fatalf("malformed campus series: %d throughput points", len(thr))
+	}
+	for i := 1; i < len(thr); i++ {
+		if thr[i] <= thr[i-1] {
+			t.Errorf("campus throughput did not grow with cells: %v", thr)
+		}
+	}
+}
+
 // TestPaperConformanceSNRTrend pins the Section 8 operating-point
 // story the snrsweep experiment reproduces: the IAC/TDMA gain ratio
 // decreases monotonically as the configured SNR drops, and the

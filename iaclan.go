@@ -275,6 +275,17 @@ type SimDynamics = sim.Dynamics
 // rates.
 type SimLink = sim.Link
 
+// SimCells configures the multi-cell campus plane of a simulation: a
+// campus of Count cells, each an independent Clients x APs cluster with
+// its own world and traffic, coupled only through deterministic
+// inter-cell interference leakage (Leak per neighbour, raising every
+// cell's noise floor). The zero value is the single-cell LAN.
+type SimCells = sim.Cells
+
+// SimCampusResult is a multi-cell campus sweep's outcome: one Summary
+// per cell plus the campus-wide aggregate.
+type SimCampusResult = sim.CampusResult
+
 // WorkloadKind names an offered-load model (see the Workload*
 // constants).
 type WorkloadKind = sim.WorkloadKind
@@ -317,6 +328,21 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	res, err := sim.RunSweep(cfg)
 	if err != nil {
 		return SimResult{}, fmt.Errorf("iaclan: simulate: %w", err)
+	}
+	return res, nil
+}
+
+// SimulateCampus simulates a multi-cell campus: cfg.Cells.Count
+// independent cells, each running the configured trial sweep, with
+// every (cell, trial) unit sharded across one pool of cfg.Workers
+// goroutines. Inter-cell interference leaks into each cell as a
+// deterministic noise-floor raise, so results are bit-identical for a
+// fixed seed regardless of worker count. A zero Cells block runs a
+// one-cell campus.
+func SimulateCampus(cfg SimConfig) (SimCampusResult, error) {
+	res, err := sim.RunCampus(cfg)
+	if err != nil {
+		return SimCampusResult{}, fmt.Errorf("iaclan: simulate campus: %w", err)
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package backend
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -203,6 +204,130 @@ func TestTCPHubErrors(t *testing.T) {
 	// Close twice is fine.
 	h.Close()
 	h.Close()
+}
+
+// TestTCPHubConcurrentConnectSamePort pins the reservation fix: of many
+// racing ConnectPort calls for one port, exactly one wins; the rest get
+// the already-connected error instead of silently overwriting the
+// winner's connection.
+func TestTCPHubConcurrentConnectSamePort(t *testing.T) {
+	h, err := NewTCPHub(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	const racers = 8
+	errs := make(chan error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- h.ConnectPort(0)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	wins := 0
+	for err := range errs {
+		if err == nil {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d ConnectPort calls succeeded for one port", wins)
+	}
+	// The surviving connection works.
+	if err := h.Publish(0, Message{Type: MsgAckMap, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPHubConcurrentConnectDistinctPorts pins the dial/accept pairing
+// serialization: when several ports connect concurrently, each port's
+// client connection must pair with its own server-side conn — a swap
+// would route a port's frames back into its own inbox and starve the
+// real receivers.
+func TestTCPHubConcurrentConnectDistinctPorts(t *testing.T) {
+	const ports = 4
+	h, err := NewTCPHub(ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < ports; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := h.ConnectPort(p); err != nil {
+				t.Errorf("connect %d: %v", p, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for sender := 0; sender < ports; sender++ {
+		if err := h.Publish(sender, Message{Type: MsgAckMap, Seq: uint32(sender), Payload: []byte{byte(sender)}}); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < ports; p++ {
+			if p == sender {
+				continue
+			}
+			got := h.DrainWait(p, 1, 2*time.Second)
+			if len(got) != 1 || got[0].Seq != uint32(sender) {
+				t.Fatalf("port %d got %v from sender %d (cross-paired conns?)", p, got, sender)
+			}
+		}
+		// A swap would echo the frame back to the sender.
+		if echo := h.Drain(sender); len(echo) != 0 {
+			t.Fatalf("sender %d received its own frame: conns cross-paired", sender)
+		}
+	}
+}
+
+// TestTCPHubConcurrentPublishersDoNotInterleave hammers one port from
+// many goroutines: the per-port write lock must keep every frame intact
+// (no interleaved partial writes), so the receiver decodes all of them.
+func TestTCPHubConcurrentPublishersDoNotInterleave(t *testing.T) {
+	h, err := NewTCPHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for p := 0; p < 2; p++ {
+		if err := h.ConnectPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(w)}, 600)
+			for i := 0; i < perWriter; i++ {
+				if err := h.Publish(0, Message{Type: MsgDecodedPacket, Seq: uint32(w*perWriter + i), Payload: payload}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := h.DrainWait(1, writers*perWriter, 5*time.Second)
+	if len(got) != writers*perWriter {
+		t.Fatalf("decoded %d of %d frames (stream corrupted?)", len(got), writers*perWriter)
+	}
+	for _, m := range got {
+		w := int(m.Seq) / perWriter
+		for _, b := range m.Payload {
+			if b != byte(w) {
+				t.Fatalf("frame %d carries foreign bytes: writer %d, byte %d", m.Seq, w, b)
+			}
+		}
+	}
 }
 
 func TestVirtualMIMOBackendBits(t *testing.T) {

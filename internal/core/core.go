@@ -11,7 +11,9 @@
 // The solvers here produce the constructions of paper Sections 4 and 5:
 //
 //   - SolveUplinkThree:     2 clients, 2 APs, 3 packets (Eq. 2)
-//   - SolveUplinkChain:     3 APs, 2M packets (Eqs. 3-4, Fig. 5, Fig. 8)
+//   - SolveUplinkChain:     N >= 3 APs, 2M packets (Eqs. 3-4, Fig. 5,
+//     Fig. 8; the A set splits across APs 2..N-1, and N == 2 degenerates
+//     to SolveUplinkThree)
 //   - SolveDownlinkTriangle: 3 APs, 3 clients, 3 packets (Eqs. 5-7)
 //   - SolveDownlinkTwoClient: M-1 APs, 2 clients, 2M-2 packets (Lemma 5.1)
 package core

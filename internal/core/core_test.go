@@ -160,6 +160,159 @@ func TestSolveUplinkChainDeliversTwoM(t *testing.T) {
 	}
 }
 
+// TestSolveUplinkChainLemma52Conformance pins the constructive solver
+// to Lemma 5.2: with the prescribed AP count (UplinkAPsNeeded) it
+// delivers exactly MaxUplinkPackets(M) decodable packets for M = 2..4.
+func TestSolveUplinkChainLemma52Conformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for m := 2; m <= 4; m++ {
+		clients := UplinkChainAssignment{M: m}.NumClients()
+		cs := RandomChannelSet(rng, clients, UplinkAPsNeeded(m), m, testSNR)
+		plan, err := SolveUplinkChain(cs, rng)
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		if got, want := plan.NumPackets(), MaxUplinkPackets(m); got != want {
+			t.Fatalf("M=%d: %d packets, Lemma 5.2 promises %d", m, got, want)
+		}
+		ev, err := plan.Evaluate(cs, cs, 1.0, testNoise/testSNR)
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		for i, s := range ev.SINR {
+			if s < 5 {
+				t.Fatalf("M=%d packet %d: SINR %v — packet not decodable", m, i, s)
+			}
+		}
+	}
+}
+
+// TestSolveUplinkChainNAPs exercises the generalized chain: every AP
+// count from 3 to beyond the usable maximum still delivers 2M packets,
+// the schedule spreads over min(N, M+2) APs, and every packet decodes.
+func TestSolveUplinkChainNAPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for m := 2; m <= 4; m++ {
+		clients := UplinkChainAssignment{M: m}.NumClients()
+		for n := 3; n <= UplinkChainMaxAPs(m)+1; n++ {
+			cs := RandomChannelSet(rng, clients, n, m, testSNR)
+			plan, err := SolveUplinkChain(cs, rng)
+			if err != nil {
+				t.Fatalf("M=%d N=%d: %v", m, n, err)
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("M=%d N=%d: %v", m, n, err)
+			}
+			if got, want := plan.NumPackets(), MaxUplinkPackets(m); got != want {
+				t.Fatalf("M=%d N=%d: %d packets want %d", m, n, got, want)
+			}
+			wantSteps := n
+			if max := UplinkChainMaxAPs(m); wantSteps > max {
+				wantSteps = max
+			}
+			if len(plan.Schedule) != wantSteps {
+				t.Fatalf("M=%d N=%d: %d decode steps want %d", m, n, len(plan.Schedule), wantSteps)
+			}
+			seenRx := map[int]bool{}
+			for _, step := range plan.Schedule {
+				if step.Rx < 0 || step.Rx >= n {
+					t.Fatalf("M=%d N=%d: step at rx %d out of range", m, n, step.Rx)
+				}
+				if seenRx[step.Rx] {
+					t.Fatalf("M=%d N=%d: rx %d decodes twice", m, n, step.Rx)
+				}
+				seenRx[step.Rx] = true
+			}
+			if r := plan.AlignmentResidual(cs); r > 1e-5 {
+				t.Fatalf("M=%d N=%d: alignment residual %v", m, n, r)
+			}
+			ev, err := plan.Evaluate(cs, cs, 1.0, testNoise/testSNR)
+			if err != nil {
+				t.Fatalf("M=%d N=%d: %v", m, n, err)
+			}
+			for i, s := range ev.SINR {
+				if s < 5 {
+					t.Fatalf("M=%d N=%d packet %d: SINR %v too low", m, n, i, s)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveUplinkChainTwoAPsMatchesSolveUplinkThree pins the two-AP
+// degenerate path bit for bit: with identical channels and identical
+// RNG state the chain solver and SolveUplinkThree return byte-identical
+// plans.
+func TestSolveUplinkChainTwoAPsMatchesSolveUplinkThree(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		chanRng := rand.New(rand.NewSource(100 + seed))
+		cs := RandomChannelSet(chanRng, 2, 2, 2, testSNR)
+		a, err := SolveUplinkChain(cs, rand.New(rand.NewSource(200+seed)))
+		if err != nil {
+			t.Fatalf("seed %d: chain: %v", seed, err)
+		}
+		b, err := SolveUplinkThree(cs, rand.New(rand.NewSource(200+seed)))
+		if err != nil {
+			t.Fatalf("seed %d: three: %v", seed, err)
+		}
+		if a.M != b.M || a.Wired != b.Wired {
+			t.Fatalf("seed %d: header mismatch", seed)
+		}
+		if len(a.Owner) != len(b.Owner) {
+			t.Fatalf("seed %d: %d vs %d packets", seed, len(a.Owner), len(b.Owner))
+		}
+		for i := range a.Owner {
+			if a.Owner[i] != b.Owner[i] {
+				t.Fatalf("seed %d: owner %d differs", seed, i)
+			}
+			for d := 0; d < a.M; d++ {
+				if a.Encoding[i][d] != b.Encoding[i][d] {
+					t.Fatalf("seed %d: encoding[%d][%d] %v vs %v (not bit-identical)",
+						seed, i, d, a.Encoding[i][d], b.Encoding[i][d])
+				}
+			}
+		}
+		for i := range a.Schedule {
+			if a.Schedule[i].Rx != b.Schedule[i].Rx {
+				t.Fatalf("seed %d: schedule step %d rx differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestUplinkDoFHelpers pins the N-AP DoF table.
+func TestUplinkDoFHelpers(t *testing.T) {
+	if UplinkAPsNeeded(2) != 3 || UplinkAPsNeeded(5) != 3 {
+		t.Fatal("Lemma 5.2 prescribes three APs")
+	}
+	if UplinkAPsNeeded(0) != 0 {
+		t.Fatal("degenerate antenna count")
+	}
+	for m := 2; m <= 6; m++ {
+		if got, want := UplinkChainMaxAPs(m), m+2; got != want {
+			t.Fatalf("M=%d: chain max APs %d want %d", m, got, want)
+		}
+		// Packet count grows monotonically with APs, up to the ceiling.
+		prev := 0
+		for n := 1; n <= m+3; n++ {
+			p := UplinkPacketsWithAPs(m, n)
+			if p < prev {
+				t.Fatalf("M=%d: packets dropped from %d to %d at N=%d", m, prev, p, n)
+			}
+			if p > MaxUplinkPackets(m) {
+				t.Fatalf("M=%d N=%d: %d packets exceed the DoF ceiling", m, n, p)
+			}
+			prev = p
+		}
+		if UplinkPacketsWithAPs(m, 3) != MaxUplinkPackets(m) {
+			t.Fatalf("M=%d: three APs must reach the Lemma 5.2 bound", m)
+		}
+	}
+	if UplinkPacketsWithAPs(2, 2) != 3 {
+		t.Fatal("two APs carry the three-packet construction")
+	}
+}
+
 func TestSolveUplinkChainShapeErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	// Wrong AP count.

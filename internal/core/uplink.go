@@ -151,9 +151,22 @@ func (a UplinkChainAssignment) BSet() []int {
 	return set
 }
 
-// SolveUplinkChain builds a 2M-packet uplink plan over M clients and
-// three APs (paper Section 5b). cs must be M transmitters by 3 receivers
-// with invertible M x M channels.
+// SolveUplinkChain builds an uplink plan over the chain assignment's
+// clients and N APs (paper Section 5b, generalized). cs must have
+// invertible M x M channels and:
+//
+//   - N == 2 receivers: the solver degenerates to the two-AP,
+//     three-packet construction of Section 4b and is bit-for-bit
+//     SolveUplinkThree (cs must then be 2x2).
+//   - N >= 3 receivers: the full 2M-packet successive-alignment chain.
+//     APs 0 and 1 play their Lemma 5.2 roles (free packet, B set); the
+//     M-packet A set is split across APs 2..min(N, M+2)-1, each later
+//     AP cancelling everything the wire already carries before
+//     zero-forcing its share. The split needs no extra alignment: once
+//     the B set and the earlier A packets are cancelled, any leftover
+//     A packets span a generic subspace of matching dimension. APs
+//     beyond M+2 get no decode step (they still matter upstream, as
+//     role-assignment diversity).
 //
 // The construction:
 //
@@ -180,30 +193,54 @@ func SolveUplinkChain(cs ChannelSet, rng *rand.Rand) (*Plan, error) {
 }
 
 // chainLayout caches the chain construction's deterministic packet
-// layout per antenna count. The slices are shared read-only across
-// candidate plans and deep-copied only when a winner is cloned.
+// layout per (antenna count, chain length). The slices are shared
+// read-only across candidate plans and deep-copied only when a winner
+// is cloned.
 type chainLayout struct {
 	owners, aSet, bSet []int
 	schedule           []DecodeStep
 }
 
-func makeChainLayout(m int) chainLayout {
+// chainKey identifies a layout by antennas and the number of APs the
+// schedule spreads over (after clamping to UplinkChainMaxAPs).
+type chainKey struct{ m, aps int }
+
+// makeChainLayout builds the layout for M antennas with the A set split
+// across aps-2 decode steps (aps is already clamped to [3, M+2]). With
+// aps == 3 the schedule is the paper's three-step chain.
+func makeChainLayout(m, aps int) chainLayout {
 	asgn := UplinkChainAssignment{M: m}
 	l := chainLayout{owners: asgn.Owners(), aSet: asgn.ASet(), bSet: asgn.BSet()}
 	l.schedule = []DecodeStep{
 		{Rx: 0, Packets: []int{0}},
 		{Rx: 1, Packets: l.bSet},
-		{Rx: 2, Packets: l.aSet},
+	}
+	// Split the A set as evenly as possible over APs 2..aps-1, earlier
+	// APs taking the remainder. Every step cancels all packets decoded
+	// before it, so later shares face strictly less interference.
+	steps := aps - 2
+	quo, rem := m/steps, m%steps
+	start := 0
+	for s := 0; s < steps; s++ {
+		size := quo
+		if s < rem {
+			size++
+		}
+		l.schedule = append(l.schedule, DecodeStep{Rx: 2 + s, Packets: l.aSet[start : start+size]})
+		start += size
 	}
 	return l
 }
 
-// chainLayouts covers every antenna count the package targets (2x2 to
-// 8x8 arrays); larger M falls back to building the layout per call.
-var chainLayouts = func() map[int]chainLayout {
-	out := map[int]chainLayout{}
+// chainLayouts covers every shape the package targets (2x2 to 8x8
+// arrays, three APs up to the full M+2 chain); anything else falls back
+// to building the layout per call.
+var chainLayouts = func() map[chainKey]chainLayout {
+	out := map[chainKey]chainLayout{}
 	for m := 2; m <= 8; m++ {
-		out[m] = makeChainLayout(m)
+		for aps := 3; aps <= UplinkChainMaxAPs(m); aps++ {
+			out[chainKey{m, aps}] = makeChainLayout(m, aps)
+		}
 	}
 	return out
 }()
@@ -217,16 +254,25 @@ func SolveUplinkChainWS(ws *cmplxmat.Workspace, cs ChannelSet, rng *rand.Rand) (
 	if m < 2 {
 		return nil, fmt.Errorf("core: chain construction needs M >= 2")
 	}
+	if cs.NumRx() == 2 {
+		// Two APs cannot carry the 2M chain; the three-packet Section 4b
+		// construction is the two-AP member of the family.
+		return SolveUplinkThreeWS(ws, cs, rng)
+	}
 	asgn := UplinkChainAssignment{M: m}
 	if cs.NumTx() != asgn.NumClients() {
 		return nil, fmt.Errorf("core: chain construction needs %d clients for M=%d, got %d", asgn.NumClients(), m, cs.NumTx())
 	}
-	if cs.NumRx() != 3 {
-		return nil, fmt.Errorf("core: chain construction needs 3 APs, got %d", cs.NumRx())
+	if cs.NumRx() < 3 {
+		return nil, fmt.Errorf("core: chain construction needs >= 3 APs, got %d", cs.NumRx())
 	}
-	layout, ok := chainLayouts[m]
+	aps := cs.NumRx()
+	if max := UplinkChainMaxAPs(m); aps > max {
+		aps = max
+	}
+	layout, ok := chainLayouts[chainKey{m, aps}]
 	if !ok {
-		layout = makeChainLayout(m)
+		layout = makeChainLayout(m, aps)
 	}
 	owners, aSet, bSet := layout.owners, layout.aSet, layout.bSet
 

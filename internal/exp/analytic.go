@@ -34,7 +34,7 @@ func Lemma52(cfg Config) (Result, error) {
 	for m := 2; m <= 5; m++ {
 		clients := core.UplinkChainAssignment{M: m}.NumClients()
 		achieved := 0
-		cs := core.RandomChannelSet(rng, clients, 3, m, analyticSNR)
+		cs := core.RandomChannelSet(rng, clients, core.UplinkAPsNeeded(m), m, analyticSNR)
 		plan, err := core.SolveUplinkChain(cs, rng)
 		if err == nil {
 			if ev, err2 := plan.Evaluate(cs, cs, 1.0, 1.0/analyticSNR); err2 == nil {

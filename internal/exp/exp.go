@@ -107,6 +107,7 @@ func Registry() []struct {
 		{"loadsweep", LoadSweep},
 		{"coherence", CoherenceSweep},
 		{"snrsweep", SNRSweep},
+		{"scaleup", ScaleUp},
 	}
 }
 

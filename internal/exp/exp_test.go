@@ -9,7 +9,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 	want := []string{
 		"fig12", "fig13a", "fig13b", "fig14", "fig15a", "fig15b",
 		"fig16", "lemma51", "lemma52", "freqoffset", "overhead", "ethernet",
-		"ofdm", "adhoc", "loadsweep", "coherence", "snrsweep",
+		"ofdm", "adhoc", "loadsweep", "coherence", "snrsweep", "scaleup",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -381,6 +381,52 @@ func TestCoherenceSweepShape(t *testing.T) {
 	if r.Metrics["thr_iac_retrain2"] <= r.Metrics["thr_iac_retrain32"] {
 		t.Fatalf("frequent re-training should beat a 32-cycle-stale survey: %v vs %v",
 			r.Metrics["thr_iac_retrain2"], r.Metrics["thr_iac_retrain32"])
+	}
+}
+
+func TestScaleUpShape(t *testing.T) {
+	r, err := ScaleUp(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic packet ladder is exact and monotone up to the DoF
+	// ceiling: 3 packets at 2 APs, 2M = 4 from 3 APs on.
+	packets := r.Series["packets"]
+	if len(packets) != 4 {
+		t.Fatalf("packets series has %d points", len(packets))
+	}
+	for i, want := range []float64{3, 4, 4, 4} {
+		if packets[i] != want {
+			t.Fatalf("packets[%d] = %v want %v", i, packets[i], want)
+		}
+	}
+	// Measured gain grows when the third AP unlocks the 2M chain and
+	// must not collapse when further APs spread the chain.
+	if r.Metrics["gain_aps3"] <= r.Metrics["gain_aps2"] {
+		t.Fatalf("third AP did not grow the gain: %v vs %v",
+			r.Metrics["gain_aps3"], r.Metrics["gain_aps2"])
+	}
+	if r.Metrics["gain_aps2"] <= 1 {
+		t.Fatalf("2-AP IAC gain %v should beat the MIMO baseline", r.Metrics["gain_aps2"])
+	}
+	for _, n := range []string{"4", "5"} {
+		if g := r.Metrics["gain_aps"+n]; g < 0.85*r.Metrics["gain_aps3"] {
+			t.Fatalf("gain collapsed at %s APs: %v vs %v at 3", n, g, r.Metrics["gain_aps3"])
+		}
+	}
+	// Campus axis: throughput grows with cell count; tiling efficiency
+	// never exceeds linear.
+	thr := r.Series["thr_campus"]
+	if len(thr) != 3 {
+		t.Fatalf("campus series has %d points", len(thr))
+	}
+	if !(thr[0] < thr[1] && thr[1] < thr[2]) {
+		t.Fatalf("campus throughput not growing with cells: %v", thr)
+	}
+	for _, c := range []string{"2", "4"} {
+		if e := r.Metrics["efficiency_cells"+c]; e <= 0 || e > 1.02 {
+			t.Fatalf("tiling efficiency %v at %s cells", e, c)
+		}
 	}
 }
 

@@ -94,6 +94,9 @@ func (p PollFrame) Marshal() ([]byte, error) {
 			return nil, fmt.Errorf("%w: inconsistent vector dimensions", ErrBadFrame)
 		}
 	}
+	if len(p.Entries) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d entries exceed the 2-byte count field", ErrBadFrame, len(p.Entries))
+	}
 	size := 1 + 4 + 1 + 1 + 2 + len(p.Entries)*(2+32*dim) + 4
 	buf := make([]byte, 0, size)
 	buf = append(buf, byte(p.Type))
@@ -129,6 +132,11 @@ func UnmarshalPollFrame(b []byte) (PollFrame, error) {
 	}
 	p.Fid = binary.BigEndian.Uint32(body[1:5])
 	p.NumAPs = body[5]
+	if p.NumAPs == 0 {
+		// A grant or poll for zero APs cannot schedule anything; treat it
+		// as corruption rather than letting clients act on it.
+		return PollFrame{}, fmt.Errorf("%w: zero AP count", ErrBadFrame)
+	}
 	dim := int(body[6])
 	n := int(binary.BigEndian.Uint16(body[7:9]))
 	want := 9 + n*(2+32*dim)
@@ -210,8 +218,14 @@ func SetAckBit(ackMap []byte, i int) []byte {
 // costs for a transmission group, the Section 7.1(e) accounting:
 // metadata bytes / (metadata + group's data payload bytes). The paper
 // quotes 1-2% for 1440-byte packets and a few bytes per client-AP pair.
+// numPairs beyond the wire format's entry capacity (65535) returns 0;
+// the one-byte NumAPs field does not change the frame size, so it is
+// pinned to a legal value instead of truncating the pair count into it.
 func MetadataOverhead(numPairs, antennas, payloadBytes int) float64 {
-	p := PollFrame{Type: FrameDataPoll, NumAPs: uint8(numPairs)}
+	if numPairs < 1 || numPairs > math.MaxUint16 {
+		return 0
+	}
+	p := PollFrame{Type: FrameDataPoll, NumAPs: 1}
 	for i := 0; i < numPairs; i++ {
 		v := make(cmplxmat.Vector, antennas)
 		p.Entries = append(p.Entries, VectorEntry{Client: ClientID(i), Encoding: v, Decoding: v})

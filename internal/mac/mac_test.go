@@ -42,7 +42,7 @@ func TestPollFrameRoundTrip(t *testing.T) {
 }
 
 func TestPollFrameEmptyEntries(t *testing.T) {
-	p := PollFrame{Type: FrameGrant, Fid: 1}
+	p := PollFrame{Type: FrameGrant, Fid: 1, NumAPs: 1}
 	raw, err := p.Marshal()
 	if err != nil {
 		t.Fatal(err)

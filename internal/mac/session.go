@@ -14,12 +14,26 @@ import (
 // to the number of APs and to who else transmits — they only ever see
 // their own entry.
 
+// checkNumAPs guards the one-byte NumAPs wire field: the count must fit
+// uint8 and a zero-AP plan is meaningless, so both are errors instead of
+// the silent uint8 truncation that used to corrupt large-N frames.
+func checkNumAPs(numAPs int) error {
+	if numAPs < 1 || numAPs > 255 {
+		return fmt.Errorf("%w: AP count %d outside the wire format's [1, 255]", ErrBadFrame, numAPs)
+	}
+	return nil
+}
+
 // BuildGrantFrame encodes an uplink plan as the Grant broadcast: one
 // entry per packet, carrying the owner client's id, the packet's
 // encoding vector, and the decoding vector the assigned AP will use
 // (from a plan evaluation). clientIDs maps plan transmitter index to
-// over-the-air client id.
+// over-the-air client id. numAPs must fit the one-byte wire field
+// (1..255).
 func BuildGrantFrame(fid uint32, plan *core.Plan, ev core.Evaluation, clientIDs []ClientID, numAPs int) (PollFrame, error) {
+	if err := checkNumAPs(numAPs); err != nil {
+		return PollFrame{}, err
+	}
 	if err := plan.Validate(); err != nil {
 		return PollFrame{}, err
 	}
@@ -45,6 +59,9 @@ func BuildGrantFrame(fid uint32, plan *core.Plan, ev core.Evaluation, clientIDs 
 // clients, so each entry's Client field names the packet's destination
 // (the receiver in the plan's schedule).
 func BuildDataPollFrame(fid uint32, plan *core.Plan, ev core.Evaluation, clientIDs []ClientID, numAPs int) (PollFrame, error) {
+	if err := checkNumAPs(numAPs); err != nil {
+		return PollFrame{}, err
+	}
 	if err := plan.Validate(); err != nil {
 		return PollFrame{}, err
 	}

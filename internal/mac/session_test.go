@@ -149,3 +149,87 @@ func TestBuildFrameValidation(t *testing.T) {
 		t.Fatal("invalid plan accepted")
 	}
 }
+
+// TestFrameAPCountBounds pins the wire-truncation fix: AP counts that do
+// not fit the one-byte field (or a zero count) error at build time
+// instead of silently truncating, and a zero-AP frame is rejected on
+// parse.
+func TestFrameAPCountBounds(t *testing.T) {
+	plan, ev := solvedUplink(t)
+	ids := []ClientID{1, 2}
+	for _, n := range []int{0, -1, 256, 1000} {
+		if _, err := BuildGrantFrame(1, plan, ev, ids, n); err == nil {
+			t.Fatalf("grant with %d APs accepted", n)
+		}
+		if _, err := BuildDataPollFrame(1, plan, ev, ids, n); err == nil {
+			t.Fatalf("data poll with %d APs accepted", n)
+		}
+	}
+	// 255 is the last representable count and must survive a round trip.
+	frame, err := BuildGrantFrame(1, plan, ev, ids, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := frame.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ExtractAssignment(raw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAPs != 255 {
+		t.Fatalf("NumAPs %d want 255", a.NumAPs)
+	}
+	// A zero-AP frame forged on the wire is treated as corruption.
+	zero := PollFrame{Type: FrameGrant, Fid: 1}
+	rawZero, err := zero.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPollFrame(rawZero); err == nil {
+		t.Fatal("zero-AP grant parsed")
+	}
+}
+
+// TestGrantFrameCarriesNAPChainPlan round-trips a generalized N-AP
+// chain plan (4 APs, M=2, 2M packets) through the Grant broadcast: the
+// frame carries one entry per packet and every owner recovers exactly
+// its own vectors.
+func TestGrantFrameCarriesNAPChainPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cs := core.RandomChannelSet(rng, 3, 4, 2, 1000)
+	plan, err := core.SolveUplinkChain(cs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := plan.Evaluate(cs, cs, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []ClientID{21, 22, 23}
+	frame, err := BuildGrantFrame(11, plan, ev, ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := frame.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.Entries) != plan.NumPackets() {
+		t.Fatalf("%d entries for %d packets", len(frame.Entries), plan.NumPackets())
+	}
+	// Client 21 (owner 0) transmits two packets; 22 and 23 one each.
+	for i, want := range []int{2, 1, 1} {
+		a, err := ExtractAssignment(raw, ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Encoding) != want {
+			t.Fatalf("client %d got %d packets want %d", ids[i], len(a.Encoding), want)
+		}
+		if a.NumAPs != 4 {
+			t.Fatalf("client %d sees %d APs", ids[i], a.NumAPs)
+		}
+	}
+}

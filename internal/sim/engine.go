@@ -7,6 +7,7 @@ import (
 
 	"iaclan/internal/backend"
 	"iaclan/internal/channel"
+	"iaclan/internal/core"
 	"iaclan/internal/mac"
 	"iaclan/internal/phy"
 	"iaclan/internal/stats"
@@ -54,6 +55,11 @@ type engine struct {
 	hub      *backend.MemHub
 	payload  []byte
 	seq      uint32
+	// chainAPs is how many of the scenario's APs an uplink chain slot
+	// engages: every AP up to the construction's usable maximum of M+2
+	// (core.UplinkChainMaxAPs). With the paper's 3-AP cluster this is 3;
+	// denser clusters spread the successive-cancellation chain wider.
+	chainAPs int
 
 	// ws is the trial's sample-plane workspace: every slot plan and
 	// evaluation runs its linear algebra on this arena, borrowed from
@@ -123,6 +129,10 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.chans = testbed.NewSlotCache(e.scenario)
 	e.cacheEpoch = e.scenario.World.Epoch()
+	e.chainAPs = cfg.APs
+	if max := core.UplinkChainMaxAPs(world.Params().Antennas); e.chainAPs > max {
+		e.chainAPs = max
+	}
 	if cfg.Link.MCS {
 		// The MCS outage rule compares achieved against planned rates,
 		// so the slot runners must report the planner's side even on a
@@ -182,11 +192,16 @@ func newPicker(cfg Config) (mac.GroupPicker, error) {
 	return nil, fmt.Errorf("sim: unknown picker %q", cfg.Picker)
 }
 
-// Run simulates one trial and returns its metrics.
+// Run simulates one trial and returns its metrics. Multi-cell configs
+// are rejected: a campus is a set of concurrent cells, not one trial —
+// use RunCampus.
 func Run(cfg Config) (TrialResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return TrialResult{}, err
+	}
+	if cfg.Cells.enabled() {
+		return TrialResult{}, fmt.Errorf("sim: Cells.Count %d is a multi-cell campus; use RunCampus", cfg.Cells.Count)
 	}
 	e, err := newEngine(cfg)
 	if err != nil {
@@ -373,7 +388,8 @@ func (e *engine) outcome(group []mac.ClientID) groupOutcome {
 
 // plan maps the group onto a supported slot shape and evaluates it:
 //
-//	uplink   3 clients + 3 APs  -> chain construction, 4 packets
+//	uplink   3 clients + 3+ APs -> chain construction, 4 packets, spread
+//	                               over up to chainAPs (min(APs, M+2)) APs
 //	uplink   2 clients + 2 APs  -> three-packet construction
 //	downlink 3 clients + 3 APs  -> triangle construction, 3 packets
 //	downlink 1 client  + 2 APs  -> AP diversity selection, IAC mode only
@@ -396,7 +412,7 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	var err error
 	switch {
 	case e.cfg.Uplink && len(idx) == 3 && na >= 3:
-		sub.APs = e.scenario.APs[:3]
+		sub.APs = e.scenario.APs[:e.chainAPs]
 		res, err = testbed.RunUplinkSlotWS(e.ws, e.chans, sub, 0, e.rng)
 	case e.cfg.Uplink && len(idx) == 2 && na >= 2:
 		sub.APs = e.scenario.APs[:2]

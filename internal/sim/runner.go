@@ -17,6 +17,30 @@ func effectiveWorkers(cfg Config, workers, trials int) int {
 	return workers
 }
 
+// shard runs fn(i) for every i in [0, n) over a pool of `workers`
+// goroutines and waits for all of them — the one worker-pool loop the
+// trial and campus runners share. fn must write its result into its own
+// slot; slots are disjoint per i, so no synchronization is needed
+// beyond the pool's own join.
+func shard(n, workers int, fn func(i int)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // RunTrials runs `trials` independent simulations with seeds cfg.Seed,
 // cfg.Seed+1, ... sharded over a pool of `workers` goroutines (<= 0
 // means cfg's default, all cores) — the sweep that turns one engine
@@ -37,24 +61,11 @@ func RunTrials(cfg Config, trials, workers int) ([]TrialResult, error) {
 
 	results := make([]TrialResult, trials)
 	errs := make([]error, trials)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				c := cfg
-				c.Seed = cfg.Seed + int64(i)
-				results[i], errs[i] = Run(c)
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	shard(trials, workers, func(i int) {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		results[i], errs[i] = Run(c)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

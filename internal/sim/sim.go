@@ -72,6 +72,12 @@ type Config struct {
 	// discrete MCS rate/outage model. The zero value runs the legacy
 	// link model (unit noise, exact cancellation, Shannon rates).
 	Link Link
+	// Cells configures the multi-cell campus plane: Count cells, each an
+	// independent Clients x APs cluster, with inter-cell interference
+	// leakage raising every cell's noise floor. Multi-cell configs run
+	// through RunCampus; the single-trial Run rejects them. The zero
+	// value is the single-cell LAN.
+	Cells Cells
 	// PacketBytes is the payload size of every data packet.
 	PacketBytes int
 	// Trials and Workers configure RunTrials-based sweeps: Trials
@@ -193,6 +199,9 @@ func (c Config) validate() error {
 		return err
 	}
 	if err := c.Link.validate(); err != nil {
+		return err
+	}
+	if err := c.Cells.validate(); err != nil {
 		return err
 	}
 	return c.Workload.validate()

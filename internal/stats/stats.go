@@ -67,13 +67,25 @@ func Max(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics. It panics on empty input or
-// p outside [0,100].
+// p outside [0,100] (NaN p included).
+//
+// xs need not be sorted: a copy is sorted internally, so the input is
+// never mutated and callers owe no ordering precondition. Any NaN in xs
+// makes the result NaN deterministically — sort.Float64s gives NaN an
+// implementation-pinned but meaningless position, so instead of letting
+// a stray NaN silently shift every order statistic, the poison value is
+// propagated to the caller.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

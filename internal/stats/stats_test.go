@@ -40,11 +40,57 @@ func TestPercentile(t *testing.T) {
 	feq(t, Percentile([]float64{7}, 90), 7, 0, "single")
 }
 
+// TestPercentileTable pins the hardened contract: unsorted input is
+// handled (a copy is sorted; the argument is never mutated), and any
+// NaN sample poisons the result deterministically instead of silently
+// corrupting the internal sort.
+func TestPercentileTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "must be NaN"
+	}{
+		{"unsorted median", []float64{5, 1, 4, 2, 3}, 50, 3},
+		{"unsorted p25", []float64{4, 1, 3, 2, 5}, 25, 2},
+		{"reverse sorted p100", []float64{9, 7, 5}, 100, 9},
+		{"duplicates", []float64{2, 2, 2, 2}, 75, 2},
+		{"negative values", []float64{-3, -1, -2}, 50, -2},
+		{"nan head", []float64{nan, 1, 2}, 50, nan},
+		{"nan middle", []float64{1, nan, 2}, 50, nan},
+		{"nan tail", []float64{1, 2, nan}, 90, nan},
+		{"all nan", []float64{nan, nan}, 50, nan},
+		{"inf is ordered", []float64{math.Inf(1), 0, math.Inf(-1)}, 50, 0},
+	}
+	for _, tc := range cases {
+		in := append([]float64(nil), tc.xs...)
+		got := Percentile(in, tc.p)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %v want NaN", tc.name, got)
+			}
+		} else if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+		for i := range in {
+			same := in[i] == tc.xs[i] || (math.IsNaN(in[i]) && math.IsNaN(tc.xs[i]))
+			if !same {
+				t.Errorf("%s: input mutated at %d", tc.name, i)
+			}
+		}
+	}
+	if !math.IsNaN(Median([]float64{1, nan})) {
+		t.Error("Median must propagate NaN")
+	}
+}
+
 func TestPercentilePanics(t *testing.T) {
 	for _, f := range []func(){
 		func() { Percentile(nil, 50) },
 		func() { Percentile([]float64{1}, -1) },
 		func() { Percentile([]float64{1}, 101) },
+		func() { Percentile([]float64{1}, math.NaN()) },
 		func() { Min(nil) },
 		func() { Max(nil) },
 	} {

@@ -33,7 +33,11 @@ import (
 //
 // A SlotCache is scoped to one scenario (its AP set anchors the baseline
 // rates) and is not safe for concurrent use; each simulation trial owns
-// one, which keeps sharded trial sweeps bit-identical to serial runs.
+// one, which keeps sharded trial sweeps bit-identical to serial runs. In
+// a multi-cell campus every cell is its own scenario with its own cache.
+// The channel and estimate memos are keyed by node-ID pair, so slot
+// runners handed any subset of the scenario's AP set (the N-AP chain
+// uses up to M+2 of them per slot) share one consistent survey.
 type SlotCache struct {
 	scenario Scenario
 	epoch    uint64

@@ -30,8 +30,9 @@ type SlotOutcome struct {
 // RunUplinkSlot plans and evaluates one IAC uplink slot for the scenario.
 // twoPacketRole selects which client transmits two packets this slot
 // (the paper rotates this role round-robin, Section 10.1). Supported
-// shapes: 2 clients x 2 APs (three packets, Fig. 4b) and 3 clients x
-// 3 APs (four packets, Fig. 5).
+// shapes: 2 clients x 2 APs (three packets, Fig. 4b) and the N-AP chain
+// — the chain assignment's client count with 3 or more APs (2M packets,
+// Fig. 5/Fig. 8, successive cancellation spread across up to M+2 APs).
 //
 // Planning runs on estimated channels; SINRs are measured on the true
 // ones. All intermediate math runs on a pooled workspace.
@@ -75,10 +76,11 @@ func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketR
 	}
 
 	solve := func(ws *cmplxmat.Workspace, est core.ChannelSet) (*core.Plan, error) {
+		m := est.Antennas()
 		switch {
 		case nc == 2 && na == 2:
 			return core.SolveUplinkThreeWS(ws, est, rng)
-		case nc == 3 && na == 3:
+		case na >= 3 && nc == (core.UplinkChainAssignment{M: m}).NumClients():
 			return core.SolveUplinkChainWS(ws, est, rng)
 		default:
 			return nil, fmt.Errorf("testbed: unsupported uplink shape %dx%d", nc, na)
@@ -198,7 +200,8 @@ func bestTxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 	return best, bestTrue, nil
 }
 
-// bestRxAssignment tries every receiver-role permutation, solving on the
+// bestRxAssignment tries the receiver-role orderings of rxOrders (every
+// permutation up to 3 APs, cyclic rotations beyond), solving on the
 // estimated channels and scoring by the estimated sum rate, and returns
 // the winner together with the true channels in the same order. Each
 // attempt's scratch is released before the next begins — plans are
@@ -208,7 +211,7 @@ func bestRxAssignment(ws *cmplxmat.Workspace, trueCS, estCS core.ChannelSet, sol
 	var bestTrue core.ChannelSet
 	bestRate := -1.0
 	var lastErr error
-	for _, perm := range permutations(trueCS.NumRx()) {
+	for _, perm := range rxOrders(trueCS.NumRx()) {
 		est := PermuteRx(estCS, perm)
 		// Several solver attempts per role assignment: the solvers draw
 		// random free vectors, and the leader keeps the candidate with

@@ -212,6 +212,26 @@ func permutations(n int) [][]int {
 	return genPermutations(n)
 }
 
+// rxOrders returns the receiver-role orderings the uplink role search
+// tries: every permutation for the paper's small shapes (n <= 3), and
+// the n cyclic rotations beyond that. Full enumeration is factorial in
+// the AP count; rotations keep the N-AP chain's role search linear
+// while still letting every AP take every chain position once.
+func rxOrders(n int) [][]int {
+	if n <= 3 {
+		return permutations(n)
+	}
+	out := make([][]int, n)
+	for r := 0; r < n; r++ {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = (i + r) % n
+		}
+		out[r] = order
+	}
+	return out
+}
+
 func genPermutations(n int) [][]int {
 	base := make([]int, n)
 	for i := range base {

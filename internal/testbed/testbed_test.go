@@ -132,6 +132,36 @@ func TestRunUplinkSlotFourPackets(t *testing.T) {
 	}
 }
 
+// TestRunUplinkSlotNAPChain drives the generalized chain through the
+// slot runner: with more than three APs the plan still carries 2M
+// packets, and the decode schedule spreads over min(N, M+2) APs.
+func TestRunUplinkSlotNAPChain(t *testing.T) {
+	for _, na := range []int{4, 5} {
+		s := scenario(t, 11+int64(na), 3, na)
+		rng := rand.New(rand.NewSource(6 + int64(na)))
+		out, err := RunUplinkSlot(s, 0, rng)
+		if err != nil {
+			t.Fatalf("%d APs: %v", na, err)
+		}
+		if out.Plan.NumPackets() != 4 { // M=2 testbed: 2M = 4
+			t.Fatalf("%d APs: packets %d want 4", na, out.Plan.NumPackets())
+		}
+		wantSteps := na
+		if wantSteps > 4 { // M+2 for the 2-antenna testbed
+			wantSteps = 4
+		}
+		if len(out.Plan.Schedule) != wantSteps {
+			t.Fatalf("%d APs: %d decode steps want %d", na, len(out.Plan.Schedule), wantSteps)
+		}
+		if out.SumRate <= 0 {
+			t.Fatalf("%d APs: sum rate %v", na, out.SumRate)
+		}
+		if len(out.PerClient) != 3 {
+			t.Fatalf("%d APs: attribution %v", na, out.PerClient)
+		}
+	}
+}
+
 func TestRunUplinkSlotUnsupportedShape(t *testing.T) {
 	s := scenario(t, 8, 4, 2)
 	rng := rand.New(rand.NewSource(4))

@@ -83,6 +83,27 @@ func BenchmarkSimulateSNR(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateCampus gates the multi-cell campus plane: two cells
+// of the default cluster shape, each slot running the N-AP uplink chain
+// (4 APs engage the full M+2 successive-cancellation spread), with the
+// inter-cell leakage folded into each cell's noise floor. This covers
+// the campus sharding/aggregation path and the wider chain planning the
+// single-cell benchmarks never touch.
+func BenchmarkSimulateCampus(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Clients = 6
+	cfg.APs = 4
+	cfg.Cycles = 60
+	cfg.Trials = 1
+	cfg.Cells = sim.Cells{Count: 2, Leak: 0.15}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateCampus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimCFPCycle(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = b.N
