@@ -12,6 +12,7 @@
 //	iacsim -workload saturated -eps 0.35 -retrain 8 -mobility -compare
 //	iacsim -workload saturated -noise-db 12 -residual -mcs -compare
 //	iacsim -aps 4 -cells 4 -leak 0.15 -workload saturated -mcs
+//	iacsim -cells 4 -trials 8 -status-addr localhost:8080   # live metrics at /status
 package main
 
 import (
@@ -53,6 +54,8 @@ func main() {
 
 		cells = flag.Int("cells", 1, "multi-cell campus: number of cells (each -clients x -aps)")
 		leak  = flag.Float64("leak", 0.1, "inter-cell interference leakage per neighbour cell in [0,1]")
+
+		statusAddr = flag.String("status-addr", "", "serve live metrics on this host:port while the simulation runs (GET /status for JSON, /debug/vars for expvar); empty disables")
 	)
 	flag.Parse()
 	if *dir != "up" && *dir != "down" {
@@ -88,6 +91,19 @@ func main() {
 		}
 	}
 	cfg.Link = iaclan.SimLink{NoiseDB: *noiseDB, ResidualCancel: *residual, MCS: *mcs}
+	if *statusAddr != "" {
+		// The live metrics plane: the engine publishes counters and the
+		// pooled latency sketch into the registry while trials run, and
+		// the status server snapshots it on demand. Attaching it never
+		// perturbs results (runs are bit-identical with and without).
+		cfg.Obs = iaclan.NewObsRegistry()
+		srv, err := iaclan.ServeObs(*statusAddr, cfg.Obs)
+		if err != nil {
+			log.Fatalf("iacsim: status server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("status server: http://%s/status\n", srv.Addr())
+	}
 	if *cells != 1 {
 		// Pass non-default values through even when invalid (negative
 		// counts, leak out of range) so the engine's validation reports

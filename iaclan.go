@@ -32,7 +32,9 @@ import (
 
 	"iaclan/internal/channel"
 	"iaclan/internal/exp"
+	"iaclan/internal/obs"
 	"iaclan/internal/sim"
+	"iaclan/internal/stats"
 	"iaclan/internal/testbed"
 )
 
@@ -312,6 +314,67 @@ type SimResult = sim.Summary
 
 // SimTrial is one trial's raw result (see SimulateTrials).
 type SimTrial = sim.TrialResult
+
+// LatencySketch is the fixed-size mergeable quantile sketch latency
+// results carry (SimResult.Latency, SimTrial.Latency): allocation-flat
+// at any packet count, ~1.2% worst-case relative quantile error, and
+// deterministic bit-identical merges across trials and cells.
+type LatencySketch = stats.Sketch
+
+// ObsRegistry is the streaming observability plane a simulation
+// publishes live metrics into when SimConfig.Obs is set: counters
+// (trials/cycles completed, packets offered/delivered/dropped, cache
+// hits, retrain rounds), gauges (sweep sizes, per-cell throughput, PHY
+// pool churn), and the pooled latency quantile sketch. Attaching a
+// registry never perturbs results — runs with and without one are
+// bit-identical.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a registry frozen at one instant — the JSON document
+// the status server serves at /status.
+type ObsSnapshot = obs.Snapshot
+
+// ObsServer is a live metrics HTTP endpoint bound to one registry.
+type ObsServer = obs.StatusServer
+
+// NewObsRegistry returns an empty observability registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ServeObs starts a status HTTP server for reg on addr (host:port;
+// port 0 picks a free one): GET /status returns the registry snapshot
+// as JSON, GET /debug/vars the process expvar page. It returns
+// immediately; the server runs until Close. Attaching it to a running
+// simulation is safe at any point — handlers only read.
+func ServeObs(addr string, reg *ObsRegistry) (*ObsServer, error) {
+	srv, err := obs.ListenAndServe(addr, reg)
+	if err != nil {
+		return nil, fmt.Errorf("iaclan: serve obs: %w", err)
+	}
+	return srv, nil
+}
+
+// SimTracer receives a simulation's structured lifecycle events when
+// SimConfig.Trace is set. Sweep workers emit concurrently, so
+// implementations must be safe for concurrent use; a nil tracer costs
+// one predicted branch per would-be event and zero allocations.
+type SimTracer = sim.Tracer
+
+// SimEvent is one structured lifecycle event (all scalars — emitting
+// one never allocates).
+type SimEvent = sim.Event
+
+// SimEventKind names a lifecycle event kind.
+type SimEventKind = sim.EventKind
+
+// Lifecycle event kinds for SimEvent.Kind.
+const (
+	SimEventSlotPlanned       = sim.EventSlotPlanned
+	SimEventSlotEvaluated     = sim.EventSlotEvaluated
+	SimEventChainDecodeFailed = sim.EventChainDecodeFailed
+	SimEventRetrain           = sim.EventRetrain
+	SimEventTrialDone         = sim.EventTrialDone
+	SimEventCellDone          = sim.EventCellDone
+)
 
 // DefaultSimConfig returns the engine defaults: a 10-client, 3-AP
 // uplink under Poisson load for 1000 CFP cycles.

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"iaclan/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	if r.Counter("events") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("level")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+	r.GaugeFunc("derived", func() float64 { return 7 })
+	d := r.Distribution("lat")
+	d.Observe(10)
+	var sk stats.Sketch
+	sk.Add(30)
+	d.Merge(&sk)
+
+	snap := r.Snapshot()
+	if snap.Counters["events"] != 5 || snap.Gauges["level"] != 2 || snap.Gauges["derived"] != 7 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if ls := snap.Distributions["lat"]; ls.Count != 2 || ls.Min != 10 || ls.Max != 30 {
+		t.Fatalf("distribution snapshot %+v", snap.Distributions["lat"])
+	}
+}
+
+// TestRegistryConcurrentPublishAndSnapshot hammers the registry from
+// publisher and reader goroutines at once — the -race CI job turns any
+// unsynchronized access into a failure.
+func TestRegistryConcurrentPublishAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("n")
+			d := r.Distribution("lat")
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				r.Gauge(fmt.Sprintf("g%d", w)).Set(float64(i))
+				d.Observe(float64(i%37 + 1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("n").Value(); got != 2000 {
+		t.Fatalf("counter %d after concurrent adds, want 2000", got)
+	}
+	if got := r.Distribution("lat").Snapshot().Count; got != 2000 {
+		t.Fatalf("distribution count %d, want 2000", got)
+	}
+}
+
+// TestStatusServer round-trips a snapshot over HTTP and checks the
+// JSON schema the CI smoke step validates: top-level counters, gauges,
+// and distributions objects, with sketch summaries inside.
+func TestStatusServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_trials_completed").Add(3)
+	r.Gauge("sim_trials_total").Set(8)
+	d := r.Distribution("sim_latency_slots")
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+
+	srv, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sim_trials_completed"] != 3 || snap.Gauges["sim_trials_total"] != 8 {
+		t.Fatalf("decoded snapshot %+v", snap)
+	}
+	lat := snap.Distributions["sim_latency_slots"]
+	if lat.Count != 100 || lat.Min != 1 || lat.Max != 100 {
+		t.Fatalf("latency snapshot %+v", lat)
+	}
+	if lat.P95 < 90 || lat.P95 > 100 {
+		t.Fatalf("latency p95 %v implausible", lat.P95)
+	}
+
+	// The expvar page serves too (the registry appears under "iaclan"
+	// for whichever registry published first in the process).
+	vresp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	body, err := io.ReadAll(vresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(body) {
+		t.Fatal("/debug/vars is not valid JSON")
+	}
+}
+
+// TestSnapshotMarshalsEmptyAndPoisoned: the JSON document must encode
+// whatever state the registry is in — empty distributions and
+// NaN-poisoned sketches included (encoding/json rejects NaN).
+func TestSnapshotMarshalsEmptyAndPoisoned(t *testing.T) {
+	r := NewRegistry()
+	r.Distribution("empty")
+	var sk stats.Sketch
+	sk.Add(1)
+	sk.Add(0.0 / func() float64 { return 0 }()) // NaN without a constant-division compile error
+	r.Distribution("poisoned").Merge(&sk)
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+}

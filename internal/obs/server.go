@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Handler returns the status HTTP handler for a registry:
+//
+//	GET /status      the registry snapshot as a JSON document
+//	GET /debug/vars  the process expvar page (includes the registry,
+//	                 published once under "iaclan", plus Go runtime vars)
+//
+// The handler only reads the registry, so it can be mounted against a
+// simulation in flight without perturbing it.
+func Handler(reg *Registry) http.Handler {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/status", http.StatusFound)
+	})
+	return mux
+}
+
+// expvarOnce guards the process-global expvar namespace: expvar.Publish
+// panics on duplicate names, so only the first registry served in a
+// process appears there. Every server's /status always reflects its own
+// registry.
+var expvarOnce sync.Once
+
+func publishExpvar(reg *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("iaclan", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+}
+
+// StatusServer is a live metrics endpoint bound to one registry.
+type StatusServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving reg's snapshots on addr (host:port;
+// port 0 picks a free one) and returns immediately — the accept loop
+// runs on its own goroutine for the lifetime of the server. Attaching
+// it to a running simulation is safe at any point: handlers only read.
+func ListenAndServe(addr string, reg *Registry) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &StatusServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the address the server actually listens on (useful with
+// port 0).
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *StatusServer) Close() error { return s.srv.Close() }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+	"sync/atomic"
 
 	"iaclan/internal/cmplxmat"
 	"iaclan/internal/sig"
@@ -49,18 +50,31 @@ func (w *Workspace) AntSamples(ants, perAnt int) [][]complex128 {
 
 // pool recycles warm sample-plane workspaces process-wide. The public
 // entry points that keep their allocation-free guts internal (Cancel
-// searches, slot evaluation wrappers) borrow from here.
-var pool = sync.Pool{New: func() any { return NewWorkspace() }}
+// searches, slot evaluation wrappers) borrow from here. poolGets and
+// poolPuts count the pool's churn for the observability plane.
+var (
+	pool               = sync.Pool{New: func() any { return NewWorkspace() }}
+	poolGets, poolPuts atomic.Uint64
+)
 
 // GetWorkspace borrows a warm workspace from the process-wide pool.
-func GetWorkspace() *Workspace { return pool.Get().(*Workspace) }
+func GetWorkspace() *Workspace {
+	poolGets.Add(1)
+	return pool.Get().(*Workspace)
+}
 
 // PutWorkspace resets ws and returns it to the pool. ws must not be used
 // afterwards.
 func PutWorkspace(ws *Workspace) {
 	ws.Reset()
+	poolPuts.Add(1)
 	pool.Put(ws)
 }
+
+// PoolCounters reports the process-wide workspace pool's cumulative
+// borrow/return totals — gets minus puts is the number of workspaces
+// currently out (one per in-flight trial). Safe for concurrent use.
+func PoolCounters() (gets, puts uint64) { return poolGets.Load(), poolPuts.Load() }
 
 // preambleSamples is the fixed pseudo-noise preamble, modulated once.
 var preambleSamples = sig.Preamble()

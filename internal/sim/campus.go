@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"iaclan/internal/stats"
 )
@@ -78,12 +79,10 @@ type CampusResult struct {
 	PerCell []Summary
 	// Campus is the campus-wide aggregate: throughputs and packet
 	// counters sum across cells (cells carry traffic concurrently on
-	// their own channels), latency statistics are delivered-weighted
-	// means of the per-cell figures (cells keep separate queues, so the
-	// campus p95 is an average of cell p95s, not a pooled re-ranking —
-	// one congested cell's tail reads lower here than in its own
-	// PerCell entry), and Jain fairness spans every client on the
-	// campus.
+	// their own channels), latency pools every delivered packet on the
+	// campus by merging the per-cell quantile sketches — a true campus
+	// p95 in which a congested cell's tail carries its full weight —
+	// and Jain fairness spans every client on the campus.
 	Campus Summary
 }
 
@@ -120,12 +119,30 @@ func RunCampus(cfg Config) (CampusResult, error) {
 		results[i] = make([]TrialResult, trials)
 		errs[i] = make([]error, trials)
 	}
+	if cfg.Obs != nil {
+		// The sweep-size gauges let a live status reader turn the
+		// *_completed counters into progress.
+		cfg.Obs.Gauge(metricTrialsTotal).Set(float64(cells * trials))
+		cfg.Obs.Gauge(metricCellsTotal).Set(float64(cells))
+	}
+	// remaining tracks each cell's unfinished trials so the worker that
+	// completes a cell's last trial can publish the cell-level wrap-up
+	// (throughput gauge, completion counter, EventCellDone) while the
+	// rest of the campus is still running.
+	remaining := make([]atomic.Int64, cells)
+	for i := range remaining {
+		remaining[i].Store(int64(trials))
+	}
 	workers := effectiveWorkers(cfg, cfg.Workers, cells*trials)
 	shard(cells*trials, workers, func(j int) {
 		cell, trial := j/trials, j%trials
 		c := cellCfgs[cell]
 		c.Seed += int64(trial)
+		c.cell, c.trial = cell, trial
 		results[cell][trial], errs[cell][trial] = Run(c)
+		if remaining[cell].Add(-1) == 0 {
+			campusCellDone(cfg, cell, results[cell])
+		}
 	})
 	for c := range errs {
 		for t, err := range errs[c] {
@@ -145,26 +162,50 @@ func RunCampus(cfg Config) (CampusResult, error) {
 	return out, nil
 }
 
+// campusCellDone publishes a finished cell's wrap-up: its mean sum
+// throughput as a live gauge, the campus completion counter, and the
+// EventCellDone trace event. It runs on whichever worker finished the
+// cell's last trial — by then every result in trials is written, so
+// reading them races with nothing.
+func campusCellDone(cfg Config, cell int, trials []TrialResult) {
+	if cfg.Obs == nil && cfg.Trace == nil {
+		return
+	}
+	var thr float64
+	for _, tr := range trials {
+		thr += tr.SumThroughputBitsPerSlot
+	}
+	if len(trials) > 0 {
+		thr /= float64(len(trials))
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge(cellThroughputGauge(cell)).Set(thr)
+		cfg.Obs.Counter(metricCellsCompleted).Inc()
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Trace(Event{Kind: EventCellDone, Cell: cell,
+			Trial: len(trials), Value: thr})
+	}
+}
+
 // aggregateCampus folds per-cell summaries into the campus-wide view.
 // Cells carry traffic concurrently on their own channels, so capacity
 // metrics (throughput, packet counters, backend bytes) sum; airtime is
-// the mean cell airtime; latency percentiles are delivered-weighted
-// means of the cell statistics (cells do not share a queue, so there is
-// no pooled sample set to re-rank).
+// the mean cell airtime; latency pools every delivered packet by
+// merging the per-cell sketches in cell order — the pooled re-ranking
+// the old delivered-weighted mean of per-cell percentiles could only
+// approximate (it systematically under-read a congested cell's tail).
 func aggregateCampus(cells []Summary) Summary {
 	if len(cells) == 0 {
 		return Summary{}
 	}
 	s := Summary{Trials: cells[0].Trials, Cycles: cells[0].Cycles}
-	var latWeight float64
+	s.Latency = &stats.Sketch{}
 	for _, c := range cells {
 		s.MeanSlots += c.MeanSlots
 		s.PerClientThroughput = append(s.PerClientThroughput, c.PerClientThroughput...)
 		s.SumThroughputBitsPerSlot += c.SumThroughputBitsPerSlot
-		w := float64(c.DeliveredPackets)
-		s.MeanLatencySlots += w * c.MeanLatencySlots
-		s.P95LatencySlots += w * c.P95LatencySlots
-		latWeight += w
+		s.Latency.Merge(c.Latency)
 		s.DeliveredPackets += c.DeliveredPackets
 		s.OfferedPackets += c.OfferedPackets
 		s.DroppedPackets += c.DroppedPackets
@@ -173,9 +214,9 @@ func aggregateCampus(cells []Summary) Summary {
 		s.WirelessBits += c.WirelessBits
 	}
 	s.MeanSlots /= float64(len(cells))
-	if latWeight > 0 {
-		s.MeanLatencySlots /= latWeight
-		s.P95LatencySlots /= latWeight
+	if s.Latency.Count() > 0 {
+		s.MeanLatencySlots = s.Latency.Mean()
+		s.P95LatencySlots = s.Latency.Quantile(95)
 	}
 	s.JainFairness = stats.JainFairness(s.PerClientThroughput)
 	if s.OfferedPackets > 0 {

@@ -154,6 +154,10 @@ func (e *engine) applyDynamics(cycle int) {
 		e.surveyAll()
 		clear(e.cache)
 		e.sim.ChargeSlots(e.dyn.TrainSlots)
+		e.retrains++
+		e.retrainCost += e.dyn.TrainSlots
+		e.emit(Event{Kind: EventRetrain, Cycle: cycle,
+			Slot: e.sim.Slots(), Value: float64(e.dyn.TrainSlots)})
 	}
 }
 

@@ -88,14 +88,31 @@ type engine struct {
 	next  []float64 // next arrival time in slots (timed workloads)
 	batch []arrival // reusable arrival-sorting scratch
 
-	// Per-client accounting (index = scenario client index).
+	// Per-client accounting (index = scenario client index). Latency
+	// lives in fixed-size quantile sketches, not sample slices, so the
+	// accounting stays allocation-flat however many packets a trial
+	// delivers.
 	pending   []int
 	offered   []int
 	delivered []int
 	dropped   []int
 	bufDrops  []int
 	rateSum   []float64
-	lat       [][]float64
+	lat       []stats.Sketch
+
+	// Observability state: resolved metric handles (nil without a
+	// registry), the lifecycle tracer (nil is a zero-alloc no-op), the
+	// engine's campus coordinates for event tagging, and the plain
+	// local tallies the engine batches on the hot path and flushes to
+	// the registry once, when the trial ends.
+	met         *simMetrics
+	trace       Tracer
+	cell, trial int
+	cycleNo     int
+	outages     int
+	lostPackets int
+	retrains    int
+	retrainCost int
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -125,7 +142,11 @@ func newEngine(cfg Config) (*engine, error) {
 		dropped:   make([]int, cfg.Clients),
 		bufDrops:  make([]int, cfg.Clients),
 		rateSum:   make([]float64, cfg.Clients),
-		lat:       make([][]float64, cfg.Clients),
+		lat:       make([]stats.Sketch, cfg.Clients),
+		met:       newSimMetrics(cfg.Obs),
+		trace:     cfg.Trace,
+		cell:      cfg.cell,
+		trial:     cfg.trial,
 	}
 	e.chans = testbed.NewSlotCache(e.scenario)
 	e.cacheEpoch = e.scenario.World.Epoch()
@@ -225,6 +246,7 @@ func Run(cfg Config) (TrialResult, error) {
 // discard the cycle's broadcasts (the hub is used for byte accounting;
 // nobody replays the payloads).
 func (e *engine) cycle(c int) {
+	e.cycleNo = c
 	e.applyDynamics(c)
 	e.generate()
 	beacon := e.sim.RunCFP()
@@ -232,6 +254,11 @@ func (e *engine) cycle(c int) {
 		e.publish(backend.MsgAckMap, beacon.AckMap)
 	}
 	e.hub.DiscardAll()
+	if e.met != nil {
+		// The one per-cycle publish: a liveness tick so a status reader
+		// sees progress inside long trials, not just at their ends.
+		e.met.cyclesCompleted.Inc()
+	}
 }
 
 // generate advances every client's arrival process up to the current
@@ -302,8 +329,13 @@ func (e *engine) runSlot(group []mac.ClientID) mac.SlotResult {
 			res.Lost[i] = true
 			e.publish(backend.MsgLossReport, nil)
 		}
+		e.lostPackets += len(group)
+		e.emit(Event{Kind: EventChainDecodeFailed, Cycle: e.cycleNo,
+			Slot: e.sim.Slots(), Group: len(group), Value: float64(len(group))})
 		return res
 	}
+	lost := 0
+	var achieved float64
 	for i, c := range group {
 		r, served := out.perClient[int(c)]
 		if !served {
@@ -316,14 +348,24 @@ func (e *engine) runSlot(group []mac.ClientID) mac.SlotResult {
 			// the loss to the leader; the packet retries.
 			res.Lost[i] = true
 			e.publish(backend.MsgLossReport, nil)
+			e.outages++
+			lost++
 			continue
 		}
 		res.Rate[i] = r
+		achieved += r
 	}
 	// Every decoded packet but the last in the cancellation chain
 	// crosses the hub once (Section 7.1d): p packets cost p-1 shares.
 	for s := 1; s < out.packets; s++ {
 		e.publish(backend.MsgDecodedPacket, e.payload)
+	}
+	e.emit(Event{Kind: EventSlotEvaluated, Cycle: e.cycleNo,
+		Slot: e.sim.Slots(), Group: len(group), Value: achieved})
+	if lost > 0 {
+		e.lostPackets += lost
+		e.emit(Event{Kind: EventChainDecodeFailed, Cycle: e.cycleNo,
+			Slot: e.sim.Slots(), Group: len(group), Value: float64(lost)})
 	}
 	return res
 }
@@ -383,6 +425,8 @@ func (e *engine) outcome(group []mac.ClientID) groupOutcome {
 	}
 	out := e.plan(group)
 	e.cache[k] = out
+	e.emit(Event{Kind: EventSlotPlanned, Cycle: e.cycleNo,
+		Slot: e.sim.Slots(), Group: len(group), Value: out.sumRate})
 	return out
 }
 
@@ -470,7 +514,7 @@ func (e *engine) PacketDelivered(c mac.ClientID, born, now int, rate float64) {
 	e.pending[i]--
 	e.delivered[i]++
 	e.rateSum[i] += rate
-	e.lat[i] = append(e.lat[i], float64(now-born))
+	e.lat[i].Add(float64(now - born))
 }
 
 // PacketDropped implements mac.Tracer.
@@ -491,8 +535,12 @@ func (e *engine) result() TrialResult {
 		PerClient: make([]ClientMetrics, e.cfg.Clients),
 	}
 	thr := make([]float64, e.cfg.Clients)
-	var allLat []float64
-	var offered, delivered int
+	// Pool the per-client latency sketches by merge, not by
+	// concatenating sample slices: one fixed-size sketch carries the
+	// whole trial's distribution whatever the packet count, and the
+	// same merge folds trials into sweeps and cells into a campus.
+	pooled := &stats.Sketch{}
+	var offered, delivered, dropped, bufDropped int
 	for i := range tr.PerClient {
 		cm := &tr.PerClient[i]
 		cm.Offered = e.offered[i]
@@ -505,20 +553,23 @@ func (e *engine) result() TrialResult {
 		if e.delivered[i] > 0 {
 			cm.MeanRate = e.rateSum[i] / float64(e.delivered[i])
 		}
-		if len(e.lat[i]) > 0 {
-			cm.MeanLatencySlots = stats.Mean(e.lat[i])
-			cm.P95LatencySlots = stats.Percentile(e.lat[i], 95)
+		if e.lat[i].Count() > 0 {
+			cm.MeanLatencySlots = e.lat[i].Mean()
+			cm.P95LatencySlots = e.lat[i].Quantile(95)
 		}
 		thr[i] = cm.ThroughputBitsPerSlot
 		tr.SumThroughputBitsPerSlot += cm.ThroughputBitsPerSlot
-		allLat = append(allLat, e.lat[i]...)
+		pooled.Merge(&e.lat[i])
 		offered += e.offered[i]
 		delivered += e.delivered[i]
+		dropped += e.dropped[i]
+		bufDropped += e.bufDrops[i]
 	}
 	tr.JainFairness = stats.JainFairness(thr)
-	if len(allLat) > 0 {
-		tr.MeanLatencySlots = stats.Mean(allLat)
-		tr.P95LatencySlots = stats.Percentile(allLat, 95)
+	tr.Latency = pooled
+	if pooled.Count() > 0 {
+		tr.MeanLatencySlots = pooled.Mean()
+		tr.P95LatencySlots = pooled.Quantile(95)
 	}
 	if offered > 0 {
 		tr.DeliveredFraction = float64(delivered) / float64(offered)
@@ -528,5 +579,26 @@ func (e *engine) result() TrialResult {
 	if tr.WirelessBits > 0 {
 		tr.BackendBytesPerWirelessBit = float64(tr.BackendBytes) / float64(tr.WirelessBits)
 	}
+	if m := e.met; m != nil {
+		// One batched flush per trial: atomic adds commute, so the
+		// registry totals after a sweep are deterministic whatever
+		// order the workers finished in.
+		m.trialsCompleted.Inc()
+		m.slots.Add(uint64(slots))
+		m.offered.Add(uint64(offered))
+		m.delivered.Add(uint64(delivered))
+		m.dropped.Add(uint64(dropped))
+		m.bufferDropped.Add(uint64(bufDropped))
+		m.outageLosses.Add(uint64(e.outages))
+		m.decodeFailures.Add(uint64(e.lostPackets))
+		m.retrainRounds.Add(uint64(e.retrains))
+		m.retrainSlots.Add(uint64(e.retrainCost))
+		hits, misses := e.chans.Counters()
+		m.cacheHits.Add(hits)
+		m.cacheMisses.Add(misses)
+		m.latency.Merge(pooled)
+	}
+	e.emit(Event{Kind: EventTrialDone, Cycle: e.cfg.Cycles, Slot: slots,
+		Value: tr.SumThroughputBitsPerSlot})
 	return tr
 }

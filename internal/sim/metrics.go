@@ -42,7 +42,13 @@ type TrialResult struct {
 	SumThroughputBitsPerSlot float64
 	// JainFairness is Jain's index over per-client throughput.
 	JainFairness float64
-	// MeanLatencySlots / P95LatencySlots pool every delivered packet.
+	// Latency is the trial's pooled arrival-to-ack distribution (in
+	// slots) as a mergeable fixed-size quantile sketch — the carrier
+	// that lets sweeps and campuses fold latency without concatenating
+	// per-client sample slices. MeanLatencySlots / P95LatencySlots are
+	// its scalar summary (sketch-derived, <= ~1.2% relative error on
+	// the p95).
+	Latency          *stats.Sketch
 	MeanLatencySlots float64
 	P95LatencySlots  float64
 	// DeliveredFraction is delivered/offered packets.
@@ -57,8 +63,9 @@ type TrialResult struct {
 }
 
 // Summary aggregates a trial sweep. Scalar fields are means across
-// trials except the packet counters (totals) and the backend ratio
-// (total bytes over total bits).
+// trials except the packet counters (totals), the backend ratio
+// (total bytes over total bits), and the latency statistics, which
+// pool every delivered packet across trials via the Latency sketch.
 type Summary struct {
 	Trials int
 	Cycles int
@@ -69,9 +76,15 @@ type Summary struct {
 	MeanSlots float64
 	// PerClientThroughput is each client's mean throughput (bits/slot)
 	// across trials; JainFairness is Jain's index over it.
-	PerClientThroughput        []float64
-	SumThroughputBitsPerSlot   float64
-	JainFairness               float64
+	PerClientThroughput      []float64
+	SumThroughputBitsPerSlot float64
+	JainFairness             float64
+	// Latency pools every delivered packet across the aggregated
+	// trials (and, for a campus, across cells) by sketch merge;
+	// MeanLatencySlots / P95LatencySlots summarize it. Because bin
+	// counts are integers, the pooled quantiles are bit-identical
+	// whatever order the trials were merged in.
+	Latency                    *stats.Sketch
 	MeanLatencySlots           float64
 	P95LatencySlots            float64
 	DeliveredFraction          float64
@@ -93,15 +106,14 @@ func Summarize(trials []TrialResult) Summary {
 	s.Cycles = trials[0].Cycles
 	nClients := len(trials[0].PerClient)
 	s.PerClientThroughput = make([]float64, nClients)
-	latTrials := 0
+	// Latency pools by sketch merge in slice order: one distribution
+	// over every delivered packet of the sweep, so the p95 is a true
+	// pooled percentile rather than a mean of per-trial percentiles.
+	s.Latency = &stats.Sketch{}
 	for _, tr := range trials {
 		s.MeanSlots += float64(tr.Slots)
 		s.SumThroughputBitsPerSlot += tr.SumThroughputBitsPerSlot
-		if tr.MeanLatencySlots > 0 || tr.DeliveredFraction > 0 {
-			s.MeanLatencySlots += tr.MeanLatencySlots
-			s.P95LatencySlots += tr.P95LatencySlots
-			latTrials++
-		}
+		s.Latency.Merge(tr.Latency)
 		s.BackendBytes += tr.BackendBytes
 		s.WirelessBits += tr.WirelessBits
 		for i, cm := range tr.PerClient {
@@ -117,9 +129,9 @@ func Summarize(trials []TrialResult) Summary {
 	n := float64(len(trials))
 	s.MeanSlots /= n
 	s.SumThroughputBitsPerSlot /= n
-	if latTrials > 0 {
-		s.MeanLatencySlots /= float64(latTrials)
-		s.P95LatencySlots /= float64(latTrials)
+	if s.Latency.Count() > 0 {
+		s.MeanLatencySlots = s.Latency.Mean()
+		s.P95LatencySlots = s.Latency.Quantile(95)
 	}
 	for i := range s.PerClientThroughput {
 		s.PerClientThroughput[i] /= n

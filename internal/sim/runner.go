@@ -59,11 +59,15 @@ func RunTrials(cfg Config, trials, workers int) ([]TrialResult, error) {
 	}
 	workers = effectiveWorkers(cfg, workers, trials)
 
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge(metricTrialsTotal).Set(float64(trials))
+	}
 	results := make([]TrialResult, trials)
 	errs := make([]error, trials)
 	shard(trials, workers, func(i int) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
+		c.trial = i
 		results[i], errs[i] = Run(c)
 	})
 	for _, err := range errs {

@@ -20,6 +20,8 @@ package sim
 import (
 	"fmt"
 	"runtime"
+
+	"iaclan/internal/obs"
 )
 
 // Picker names for Config.Picker.
@@ -85,6 +87,23 @@ type Config struct {
 	// over Workers goroutines (0 means all cores).
 	Trials  int
 	Workers int
+	// Obs, when set, receives live metrics while the simulation runs:
+	// counters, gauges, and latency quantile sketches a status server
+	// or test can snapshot mid-sweep. Observability never perturbs
+	// results — the engine only writes scalars into the registry, so a
+	// run with Obs set is bit-identical to one without.
+	Obs *obs.Registry
+	// Trace, when set, receives structured lifecycle events (slots
+	// planned and evaluated, decode failures, retraining, trial and
+	// cell completion). Sweep workers emit concurrently, so a Tracer
+	// must be safe for concurrent use. nil adds a single predicted
+	// branch per would-be event and no allocation.
+	Trace Tracer
+	// cell and trial locate a derived single-trial config inside its
+	// sweep, purely for tagging metrics and trace events; the runners
+	// set them. They never feed into seeds or results.
+	cell  int
+	trial int
 }
 
 // Default returns the engine defaults: the acceptance scenario of a

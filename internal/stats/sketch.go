@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch bin layout: sketchBins log-spaced buckets covering
+// [sketchMinValue, sketchMaxValue), plus an underflow bucket (index 0,
+// everything below sketchMinValue including zero and negatives) and an
+// overflow bucket (index sketchBins+1). Bucket k >= 1 covers
+// [minValue*gamma^(k-1), minValue*gamma^k); its representative value is
+// the log-space midpoint minValue*gamma^(k-1/2), so any sample is
+// reported within a factor of sqrt(gamma) of its true value — a
+// relative quantile error of at most sqrt(gamma)-1 (~1.2% for the
+// constants below), comfortably inside the 2% bound the traffic
+// engine's latency accounting promises.
+const (
+	sketchBins     = 1024
+	sketchMinValue = 1e-2
+	sketchMaxValue = 1e8
+)
+
+var (
+	sketchGamma       = math.Pow(sketchMaxValue/sketchMinValue, 1.0/sketchBins)
+	sketchInvLogGamma = 1 / math.Log(sketchGamma)
+	sketchHalfStep    = math.Sqrt(sketchGamma)
+)
+
+// Sketch is a fixed-size mergeable quantile sketch: a log-spaced
+// histogram over (0, 1e8) with ~1.2% worst-case relative value error,
+// plus exact count, sum, min and max. Unlike Percentile — which stores
+// and sorts every sample — a Sketch costs a fixed ~8 KiB whatever the
+// sample count, records a sample without allocating, and merges with
+// another sketch in O(bins): the shape the traffic engine needs to
+// account per-client latency at campus scale, and to fold per-cell
+// distributions into a campus-wide one without concatenating sample
+// slices.
+//
+// The zero value is an empty sketch ready for use. Sketch is not safe
+// for concurrent use; each simulation trial owns its sketches and the
+// aggregators merge them in deterministic slice order (bin counts are
+// integers, so merged quantiles are bit-identical regardless of merge
+// order; only the float Sum — hence Mean — is sensitive to merge order,
+// by the usual ulp of float addition).
+//
+// NaN handling follows Percentile's deterministic poison contract: NaN
+// samples are counted, and any NaN in the sketch makes every Quantile
+// call return NaN rather than silently shifting the order statistics.
+// Values below the tracked range (including zero and negatives — the
+// engine's latencies are never negative, but the type does not assume)
+// land in an underflow bucket reported as the observed minimum;
+// values at or above 1e8 land in an overflow bucket reported as the
+// observed maximum.
+type Sketch struct {
+	count  uint64
+	nonNaN uint64
+	nans   uint64
+	sum    float64
+	min    float64
+	max    float64
+	bins   [sketchBins + 2]uint64
+}
+
+// Add records one sample. It never allocates.
+func (s *Sketch) Add(x float64) {
+	s.count++
+	s.sum += x
+	if math.IsNaN(x) {
+		s.nans++
+		return
+	}
+	if s.nonNaN == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.nonNaN++
+	switch {
+	case x < sketchMinValue:
+		s.bins[0]++
+	case x >= sketchMaxValue:
+		s.bins[sketchBins+1]++
+	default:
+		i := 1 + int(math.Log(x/sketchMinValue)*sketchInvLogGamma)
+		if i < 1 {
+			i = 1
+		} else if i > sketchBins {
+			i = sketchBins
+		}
+		s.bins[i]++
+	}
+}
+
+// Merge folds o into s. Merging sketches built from disjoint sample
+// sets yields exactly the sketch of the union: bin counts, count, min
+// and max are order-independent; Sum (and so Mean) accumulates in call
+// order like any float sum. A nil or empty o is a no-op.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if o.nonNaN > 0 {
+		if s.nonNaN == 0 {
+			s.min, s.max = o.min, o.max
+		} else {
+			if o.min < s.min {
+				s.min = o.min
+			}
+			if o.max > s.max {
+				s.max = o.max
+			}
+		}
+	}
+	s.count += o.count
+	s.nonNaN += o.nonNaN
+	s.nans += o.nans
+	s.sum += o.sum
+	for i := range s.bins {
+		s.bins[i] += o.bins[i]
+	}
+}
+
+// Reset empties the sketch in place.
+func (s *Sketch) Reset() { *s = Sketch{} }
+
+// Count returns the number of recorded samples, NaNs included.
+func (s *Sketch) Count() int64 { return int64(s.count) }
+
+// Sum returns the sum of all recorded samples (NaN if any sample was
+// NaN).
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean of the recorded samples, 0 for an
+// empty sketch (matching Mean on an empty slice), NaN if any sample
+// was NaN.
+func (s *Sketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the smallest non-NaN sample; NaN for a sketch with no
+// non-NaN samples.
+func (s *Sketch) Min() float64 {
+	if s.nonNaN == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest non-NaN sample; NaN for a sketch with no
+// non-NaN samples.
+func (s *Sketch) Max() float64 {
+	if s.nonNaN == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Quantile returns the p-th percentile (0..100) estimate. It follows
+// Percentile's conventions where a fixed-size summary can: p outside
+// [0,100] (NaN included) panics; any NaN sample poisons the result to
+// NaN. Where Percentile panics on empty input, Quantile returns NaN —
+// a zero-traffic cell is an expected state for a live metrics reader,
+// not a programming error. Results are clamped to the observed
+// [Min, Max], so p=0 and p=100 are exact.
+func (s *Sketch) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", p))
+	}
+	if s.count == 0 || s.nans > 0 {
+		return math.NaN()
+	}
+	if p == 0 {
+		return s.min
+	}
+	if p == 100 {
+		return s.max
+	}
+	// Same rank convention as Percentile: the p-th percentile of n
+	// samples sits at order statistic p/100*(n-1). The bucket holding
+	// that rank answers with its representative value.
+	rank := p / 100 * float64(s.count-1)
+	var cum uint64
+	for i, c := range s.bins {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) > rank {
+			return s.clamp(sketchBinValue(i))
+		}
+	}
+	return s.max
+}
+
+// clamp bounds a bucket representative into the observed value range.
+func (s *Sketch) clamp(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// sketchBinValue is bucket i's representative value before clamping.
+func sketchBinValue(i int) float64 {
+	switch i {
+	case 0:
+		return 0 // underflow: clamped up to the observed minimum
+	case sketchBins + 1:
+		return math.Inf(1) // overflow: clamped down to the observed maximum
+	}
+	return sketchMinValue * math.Pow(sketchGamma, float64(i-1)) * sketchHalfStep
+}
+
+// SketchSnapshot is a Sketch frozen into the scalar summary the status
+// server publishes. NaN and infinite values (empty or NaN-poisoned
+// sketches) are reported as 0 so the snapshot always marshals to JSON.
+type SketchSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the sketch for serialization.
+func (s *Sketch) Snapshot() SketchSnapshot {
+	return SketchSnapshot{
+		Count: s.Count(),
+		Mean:  jsonSafe(s.Mean()),
+		Min:   jsonSafe(s.Min()),
+		Max:   jsonSafe(s.Max()),
+		P50:   jsonSafe(s.Quantile(50)),
+		P90:   jsonSafe(s.Quantile(90)),
+		P95:   jsonSafe(s.Quantile(95)),
+		P99:   jsonSafe(s.Quantile(99)),
+	}
+}
+
+// jsonSafe maps the values encoding/json rejects to 0.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -114,10 +114,29 @@ type CDFPoint struct {
 // CDF returns the empirical cumulative distribution of xs as a sorted
 // sequence of (value, cumulative probability) points, one per sample.
 // This matches how the paper plots per-client gain CDFs (Fig. 15).
+//
+// Empty input returns nil: an empty sample set has no distribution.
+// Any NaN in xs poisons the whole curve — every returned point is
+// {NaN, NaN}, length preserved — following the same deterministic NaN
+// contract as Percentile: sort.Float64s gives NaN an implementation-
+// pinned but meaningless position, so rather than emit a curve whose
+// order statistics a stray NaN silently shifted, the poison is made
+// visible to the caller.
 func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]CDFPoint, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			for i := range out {
+				out[i] = CDFPoint{X: math.NaN(), P: math.NaN()}
+			}
+			return out
+		}
+	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	out := make([]CDFPoint, len(sorted))
 	n := float64(len(sorted))
 	for i, x := range sorted {
 		out[i] = CDFPoint{X: x, P: float64(i+1) / n}
@@ -125,13 +144,27 @@ func CDF(xs []float64) []CDFPoint {
 	return out
 }
 
-// CDFAt returns the empirical probability P(X <= x) for the sample set xs.
+// CDFAt returns the empirical probability P(X <= x) for the sample set
+// xs.
+//
+// Empty input returns 0: an empty sample set has no mass at or below
+// any threshold. A NaN threshold or any NaN sample returns NaN
+// deterministically (Percentile's poison contract) — every comparison
+// against NaN is false, so without the explicit check a stray NaN
+// would silently read as "above x" and bias the fraction instead of
+// surfacing the bad sample.
 func CDFAt(xs []float64, x float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
 	count := 0
 	for _, v := range xs {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
 		if v <= x {
 			count++
 		}

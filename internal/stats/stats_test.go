@@ -263,3 +263,46 @@ func TestQuickJainBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCDFEmptyAndNaNContract pins the documented edge behavior: empty
+// input has no distribution (nil), and any NaN sample poisons every
+// point deterministically, mirroring Percentile's contract.
+func TestCDFEmptyAndNaNContract(t *testing.T) {
+	if pts := CDF(nil); pts != nil {
+		t.Fatalf("CDF(nil) = %v, want nil", pts)
+	}
+	if pts := CDF([]float64{}); pts != nil {
+		t.Fatalf("CDF(empty) = %v, want nil", pts)
+	}
+	pts := CDF([]float64{1, math.NaN(), 3})
+	if len(pts) != 3 {
+		t.Fatalf("poisoned CDF has %d points, want length preserved (3)", len(pts))
+	}
+	for i, pt := range pts {
+		if !math.IsNaN(pt.X) || !math.IsNaN(pt.P) {
+			t.Fatalf("point %d = %+v, want {NaN, NaN}", i, pt)
+		}
+	}
+	// The input is never mutated (package contract).
+	xs := []float64{3, 1, math.NaN()}
+	_ = CDF(xs)
+	if xs[0] != 3 || xs[1] != 1 || !math.IsNaN(xs[2]) {
+		t.Fatal("CDF mutated its input")
+	}
+}
+
+// TestCDFAtNaNContract: NaN threshold or NaN samples answer NaN, never
+// a silently biased fraction (NaN comparisons are all false, so the
+// unchecked count would read NaN samples as "above x").
+func TestCDFAtNaNContract(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if !math.IsNaN(CDFAt(xs, math.NaN())) {
+		t.Fatal("NaN threshold did not poison CDFAt")
+	}
+	if !math.IsNaN(CDFAt([]float64{1, math.NaN(), 3}, 2)) {
+		t.Fatal("NaN sample did not poison CDFAt")
+	}
+	// Empty input stays 0 even for a NaN threshold: no mass anywhere.
+	feq(t, CDFAt(nil, 1), 0, 0, "cdfat empty")
+	feq(t, CDFAt([]float64{}, math.NaN()), 0, 0, "cdfat empty NaN x")
+}

@@ -55,6 +55,12 @@ type SlotCache struct {
 	// estimate-derived rates alongside the achieved ones (see
 	// SlotOutcome.PlannedPerClient), so a MAC can detect outages.
 	trackPlanned bool
+	// hits and misses count memo lookups across every memo (channels,
+	// estimates, baseline rates, adapted baselines) — the cache's
+	// effectiveness signal the traffic engine surfaces as the
+	// slotcache_hits / slotcache_misses metrics. Plain fields: the
+	// cache is single-owner like the rest of its state.
+	hits, misses uint64
 }
 
 // chanKey identifies a directed transmitter->receiver pair by node ID.
@@ -96,6 +102,12 @@ func (c *SlotCache) SetManualRetrain(on bool) { c.manualRetrain = on }
 // extra allocation.
 func (c *SlotCache) TrackPlannedRates(on bool) { c.trackPlanned = on }
 
+// Counters reports the cumulative memo hit and miss totals over the
+// cache's lifetime (invalidations do not reset them). A miss is a
+// lookup that had to compute — a channel measurement, an estimate
+// draw, or a baseline eigendecomposition.
+func (c *SlotCache) Counters() (hits, misses uint64) { return c.hits, c.misses }
+
 // Retrain models one training round: every cached estimate is dropped,
 // so the next lookups re-survey the current channel state. True channels
 // and baseline rates are keyed to the world epoch and are unaffected;
@@ -128,8 +140,10 @@ func (c *SlotCache) Channel(tx, rx *channel.Node) *cmplxmat.Matrix {
 	c.ensure()
 	k := chanKey{tx.ID, rx.ID}
 	if h, ok := c.chans[k]; ok {
+		c.hits++
 		return h
 	}
+	c.misses++
 	h := c.scenario.World.Channel(tx, rx)
 	c.chans[k] = h
 	return h
@@ -141,8 +155,10 @@ func (c *SlotCache) Estimated(tx, rx *channel.Node, rng *rand.Rand) *cmplxmat.Ma
 	c.ensure()
 	k := chanKey{tx.ID, rx.ID}
 	if h, ok := c.ests[k]; ok {
+		c.hits++
 		return h
 	}
+	c.misses++
 	h := channel.NoisyEstimate(c.Channel(tx, rx), c.scenario.Env.EstimationSigma(), rng)
 	c.ests[k] = h
 	return h
@@ -165,8 +181,10 @@ func (c *SlotCache) baselineRate(client int, uplink bool) float64 {
 	c.ensure()
 	k := baseKey{client, uplink}
 	if r, ok := c.base[k]; ok {
+		c.hits++
 		return r
 	}
+	c.misses++
 	ws := cmplxmat.GetWorkspace()
 	defer cmplxmat.PutWorkspace(ws)
 	best := math.Inf(-1)
@@ -208,8 +226,10 @@ func (c *SlotCache) adaptedBaseline(client int, uplink bool, rng *rand.Rand) (pl
 	c.ensure()
 	k := baseKey{client, uplink}
 	if r, ok := c.adapted[k]; ok {
+		c.hits++
 		return r.planned, r.achieved
 	}
+	c.misses++
 	trueChans := make([]*cmplxmat.Matrix, len(c.scenario.APs))
 	estChans := make([]*cmplxmat.Matrix, len(c.scenario.APs))
 	for j, ap := range c.scenario.APs {

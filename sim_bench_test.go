@@ -104,6 +104,28 @@ func BenchmarkSimulateCampus(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateCampusSketch gates the observability plane's cost on
+// the campus path: a registry attached (so every trial flushes its
+// counters and merges its latency sketch), longer trials so the
+// allocation-flat claim is visible — latency accounting is fixed-size
+// sketches, so allocs/op must not grow with Cycles or delivered
+// packets.
+func BenchmarkSimulateCampusSketch(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Clients = 6
+	cfg.APs = 4
+	cfg.Cycles = 120
+	cfg.Trials = 1
+	cfg.Cells = sim.Cells{Count: 2, Leak: 0.15}
+	cfg.Obs = NewObsRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateCampus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimCFPCycle(b *testing.B) {
 	cfg := benchSimConfig()
 	cfg.Cycles = b.N
