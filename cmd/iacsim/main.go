@@ -73,7 +73,7 @@ func main() {
 	// The flag strings are the sim.WorkloadKind names; Simulate
 	// validates unknown kinds.
 	cfg.Workload = iaclan.SimWorkload{
-		Kind:           iaclan.WorkloadKind(*workload),
+		Kind:           iaclan.SimWorkloadKind(*workload),
 		PacketsPerSlot: *load,
 		Duty:           *duty,
 		MeanBurstSlots: *burst,

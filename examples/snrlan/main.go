@@ -25,7 +25,7 @@ func main() {
 	base.Cycles = 400
 	base.Workload = iaclan.SimWorkload{Kind: iaclan.WorkloadSaturated}
 
-	run := func(cfg iaclan.SimConfig) iaclan.SimResult {
+	run := func(cfg iaclan.SimConfig) iaclan.SimSummary {
 		res, err := iaclan.Simulate(cfg)
 		if err != nil {
 			log.Fatal(err)

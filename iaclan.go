@@ -19,6 +19,10 @@
 //     achievable rates (bit/s/Hz, the paper's Eq. 9 metric).
 //   - Experiments: regenerate every figure of the paper's evaluation
 //     (see RunExperiment and the cmd/iacbench tool).
+//   - Simulation: a discrete-event LAN traffic engine driving the whole
+//     stack over simulated time, from a one-cell lab LAN to a 10^5-client
+//     campus (see simapi.go: SimulateCampus is the general entry point,
+//     Simulate and SimulateTrials the single-cell conveniences).
 //
 // Everything is deterministic given a seed, uses only the standard
 // library, and runs on a laptop: the paper's USRP radios are replaced by
@@ -32,9 +36,6 @@ import (
 
 	"iaclan/internal/channel"
 	"iaclan/internal/exp"
-	"iaclan/internal/obs"
-	"iaclan/internal/sim"
-	"iaclan/internal/stats"
 	"iaclan/internal/testbed"
 )
 
@@ -251,173 +252,6 @@ func (n *Network) Gain(clients, aps []Node, uplink bool) (float64, error) {
 		return 0, fmt.Errorf("iaclan: zero baseline rate")
 	}
 	return iacRate / base, nil
-}
-
-// SimConfig configures a discrete-event LAN traffic simulation: the
-// network size, CFP cycle count, transmission group size, concurrency
-// algorithm, offered-load model, and the trial sweep (Trials trials
-// with seeds Seed..Seed+Trials-1 over Workers goroutines).
-type SimConfig = sim.Config
-
-// SimWorkload specifies the per-client offered-load model of a
-// simulation (kind plus rate/burstiness parameters).
-type SimWorkload = sim.Workload
-
-// SimDynamics configures time-varying channel state for a simulation:
-// block fading per coherence interval, random-waypoint client mobility,
-// and the re-training schedule with its airtime cost. The zero value
-// freezes the channel for the whole trial.
-type SimDynamics = sim.Dynamics
-
-// SimLink configures the SNR-aware link plane of a simulation: the
-// receiver-noise operating point (NoiseDB), imperfect-cancellation
-// residuals (ResidualCancel), and the shared discrete MCS rate/outage
-// model (MCS). The zero value runs the legacy link model: unit noise,
-// exact cancellation given the estimated channels, continuous Shannon
-// rates.
-type SimLink = sim.Link
-
-// SimCells configures the multi-cell campus plane of a simulation: a
-// campus of Count cells, each an independent Clients x APs cluster with
-// its own world and traffic, coupled only through deterministic
-// inter-cell interference leakage (Leak per neighbour, raising every
-// cell's noise floor). The zero value is the single-cell LAN.
-type SimCells = sim.Cells
-
-// SimCampusResult is a multi-cell campus sweep's outcome: one Summary
-// per cell plus the campus-wide aggregate.
-type SimCampusResult = sim.CampusResult
-
-// WorkloadKind names an offered-load model (see the Workload*
-// constants).
-type WorkloadKind = sim.WorkloadKind
-
-// Workload kinds for SimWorkload.Kind.
-const (
-	WorkloadSaturated = sim.Saturated
-	WorkloadCBR       = sim.CBR
-	WorkloadPoisson   = sim.Poisson
-	WorkloadBursty    = sim.Bursty
-)
-
-// Picker names for SimConfig.Picker.
-const (
-	PickerFIFO       = sim.PickerFIFO
-	PickerBestOfTwo  = sim.PickerBestOfTwo
-	PickerBruteForce = sim.PickerBruteForce
-)
-
-// SimResult aggregates a simulation sweep: per-client throughput,
-// latency percentiles, Jain fairness, delivered fraction, and the
-// backend-bytes-per-wireless-bit wired-plane load.
-type SimResult = sim.Summary
-
-// SimTrial is one trial's raw result (see SimulateTrials).
-type SimTrial = sim.TrialResult
-
-// LatencySketch is the fixed-size mergeable quantile sketch latency
-// results carry (SimResult.Latency, SimTrial.Latency): allocation-flat
-// at any packet count, ~1.2% worst-case relative quantile error, and
-// deterministic bit-identical merges across trials and cells.
-type LatencySketch = stats.Sketch
-
-// ObsRegistry is the streaming observability plane a simulation
-// publishes live metrics into when SimConfig.Obs is set: counters
-// (trials/cycles completed, packets offered/delivered/dropped, cache
-// hits, retrain rounds), gauges (sweep sizes, per-cell throughput, PHY
-// pool churn), and the pooled latency quantile sketch. Attaching a
-// registry never perturbs results — runs with and without one are
-// bit-identical.
-type ObsRegistry = obs.Registry
-
-// ObsSnapshot is a registry frozen at one instant — the JSON document
-// the status server serves at /status.
-type ObsSnapshot = obs.Snapshot
-
-// ObsServer is a live metrics HTTP endpoint bound to one registry.
-type ObsServer = obs.StatusServer
-
-// NewObsRegistry returns an empty observability registry.
-func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
-
-// ServeObs starts a status HTTP server for reg on addr (host:port;
-// port 0 picks a free one): GET /status returns the registry snapshot
-// as JSON, GET /debug/vars the process expvar page. It returns
-// immediately; the server runs until Close. Attaching it to a running
-// simulation is safe at any point — handlers only read.
-func ServeObs(addr string, reg *ObsRegistry) (*ObsServer, error) {
-	srv, err := obs.ListenAndServe(addr, reg)
-	if err != nil {
-		return nil, fmt.Errorf("iaclan: serve obs: %w", err)
-	}
-	return srv, nil
-}
-
-// SimTracer receives a simulation's structured lifecycle events when
-// SimConfig.Trace is set. Sweep workers emit concurrently, so
-// implementations must be safe for concurrent use; a nil tracer costs
-// one predicted branch per would-be event and zero allocations.
-type SimTracer = sim.Tracer
-
-// SimEvent is one structured lifecycle event (all scalars — emitting
-// one never allocates).
-type SimEvent = sim.Event
-
-// SimEventKind names a lifecycle event kind.
-type SimEventKind = sim.EventKind
-
-// Lifecycle event kinds for SimEvent.Kind.
-const (
-	SimEventSlotPlanned       = sim.EventSlotPlanned
-	SimEventSlotEvaluated     = sim.EventSlotEvaluated
-	SimEventChainDecodeFailed = sim.EventChainDecodeFailed
-	SimEventRetrain           = sim.EventRetrain
-	SimEventTrialDone         = sim.EventTrialDone
-	SimEventCellDone          = sim.EventCellDone
-)
-
-// DefaultSimConfig returns the engine defaults: a 10-client, 3-AP
-// uplink under Poisson load for 1000 CFP cycles.
-func DefaultSimConfig() SimConfig { return sim.Default() }
-
-// Simulate sustains traffic over simulated time through the whole IAC
-// stack — traffic generators feed the PCF MAC, every transmission group
-// is planned and evaluated on the simulated PHY, and the APs' wired
-// coordination bytes are metered — then aggregates cfg.Trials
-// independent trials run in parallel on cfg.Workers goroutines.
-// Results are bit-identical for a fixed seed regardless of worker
-// count.
-func Simulate(cfg SimConfig) (SimResult, error) {
-	res, err := sim.RunSweep(cfg)
-	if err != nil {
-		return SimResult{}, fmt.Errorf("iaclan: simulate: %w", err)
-	}
-	return res, nil
-}
-
-// SimulateCampus simulates a multi-cell campus: cfg.Cells.Count
-// independent cells, each running the configured trial sweep, with
-// every (cell, trial) unit sharded across one pool of cfg.Workers
-// goroutines. Inter-cell interference leaks into each cell as a
-// deterministic noise-floor raise, so results are bit-identical for a
-// fixed seed regardless of worker count. A zero Cells block runs a
-// one-cell campus.
-func SimulateCampus(cfg SimConfig) (SimCampusResult, error) {
-	res, err := sim.RunCampus(cfg)
-	if err != nil {
-		return SimCampusResult{}, fmt.Errorf("iaclan: simulate campus: %w", err)
-	}
-	return res, nil
-}
-
-// SimulateTrials is Simulate without the aggregation: the raw
-// per-trial results in seed order.
-func SimulateTrials(cfg SimConfig) ([]SimTrial, error) {
-	trials, err := sim.RunTrials(cfg, cfg.Trials, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("iaclan: simulate: %w", err)
-	}
-	return trials, nil
 }
 
 // ExperimentConfig re-exports the experiment tuning knobs.

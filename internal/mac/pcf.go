@@ -2,6 +2,7 @@ package mac
 
 import (
 	"fmt"
+	"slices"
 )
 
 // SlotResult reports what one concurrent transmission slot achieved for
@@ -62,13 +63,33 @@ func (s ClientStats) MeanRate() float64 {
 // FIFO queue, forms transmission groups with the configured picker, runs
 // them through the SlotRunner, acknowledges via the next beacon's bitmap,
 // and reschedules losses.
+//
+// Internally the logical FIFO is sharded into per-client deques plus an
+// active-client set, so every MAC operation costs pending work, not
+// roster size: enqueue and dequeue are O(1), and CFP formation iterates
+// the clients that actually have queued packets. A global arrival
+// sequence stamp preserves the exact cross-client FIFO order the single
+// flat queue used to encode, so results are bit-for-bit identical to
+// the old representation.
 type Simulator struct {
 	cfg    Config
 	picker GroupPicker
 	est    RateEstimator
 	run    SlotRunner
 
-	queue   []queuedPacket
+	// queues is indexed by ClientID (grown on demand); active lists the
+	// clients that may have queued packets, each at most once (inActive
+	// is the membership flag). Clients whose deque drained stay in
+	// active until the next eligible-set build sweeps them out.
+	queues   []clientQueue
+	active   []ClientID
+	inActive []bool
+	queueLen int
+	// seq stamps each enqueued packet with its global arrival order; the
+	// eligible view sorts clients by their head packet's stamp, which is
+	// exactly the first-occurrence order a flat FIFO queue would yield.
+	seq uint64
+
 	stats   map[ClientID]*ClientStats
 	beacons int
 	slots   int
@@ -76,17 +97,48 @@ type Simulator struct {
 	// pendingAcks collects (client, success) outcomes of the current CFP
 	// for the next beacon's ack map.
 	pendingAcks []ackEntry
-	// viewBuf and servedBuf are per-CFP scratch reused across cycles so
-	// the steady-state CFP loop stays off the heap. The ack map itself
-	// is allocated fresh per beacon (it escapes into the Beacon).
-	viewBuf   []ClientID
-	servedBuf map[ClientID]bool
+	// eligBuf is per-CFP scratch reused across cycles so the steady-state
+	// CFP loop stays off the heap. The ack map itself is allocated fresh
+	// per beacon (it escapes into the Beacon).
+	eligBuf []ClientID
 }
 
 type queuedPacket struct {
 	client  ClientID
 	retries int
 	born    int
+	seq     uint64
+}
+
+// clientQueue is one client's packet FIFO: a slice-backed deque popped
+// by advancing head. The backing array resets when it drains and
+// compacts when the dead prefix dominates, so a long-lived client's
+// deque stays bounded by its actual backlog.
+type clientQueue struct {
+	pkts []queuedPacket
+	head int
+}
+
+func (q *clientQueue) empty() bool          { return q.head >= len(q.pkts) }
+func (q *clientQueue) len() int             { return len(q.pkts) - q.head }
+func (q *clientQueue) front() *queuedPacket { return &q.pkts[q.head] }
+
+func (q *clientQueue) push(p queuedPacket) {
+	if q.head >= len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	q.pkts = append(q.pkts, p)
+}
+
+func (q *clientQueue) pop() queuedPacket {
+	p := q.pkts[q.head]
+	q.head++
+	return p
 }
 
 type ackEntry struct {
@@ -123,11 +175,61 @@ func (s *Simulator) Enqueue(c ClientID) { s.EnqueueBorn(c, s.slots) }
 // traffic generators use it to stamp packets with their true arrival
 // slot, so queueing delay before the beacon counts toward latency.
 func (s *Simulator) EnqueueBorn(c ClientID, born int) {
-	s.queue = append(s.queue, queuedPacket{client: c, born: born})
+	s.grow(c)
+	s.seq++
+	s.queues[c].push(queuedPacket{client: c, born: born, seq: s.seq})
+	s.queueLen++
+	if !s.inActive[c] {
+		s.inActive[c] = true
+		s.active = append(s.active, c)
+	}
+}
+
+// grow sizes the per-client tables to cover id c.
+func (s *Simulator) grow(c ClientID) {
+	if int(c) < len(s.queues) {
+		return
+	}
+	n := int(c) + 1
+	for len(s.queues) < n {
+		s.queues = append(s.queues, clientQueue{})
+		s.inActive = append(s.inActive, false)
+	}
 }
 
 // QueueLen returns the number of queued packets.
-func (s *Simulator) QueueLen() int { return len(s.queue) }
+func (s *Simulator) QueueLen() int { return s.queueLen }
+
+// eligible rebuilds the distinct client view the pickers see: every
+// client with queued packets, ordered by its head packet's arrival
+// stamp — the first-occurrence order of the logical flat FIFO. Clients
+// whose deque drained are swept out of the active set here. The
+// returned slice aliases eligBuf and is valid until the next call.
+func (s *Simulator) eligible() []ClientID {
+	keep := s.active[:0]
+	elig := s.eligBuf[:0]
+	for _, c := range s.active {
+		if s.queues[c].empty() {
+			s.inActive[c] = false
+			continue
+		}
+		keep = append(keep, c)
+		elig = append(elig, c)
+	}
+	s.active = keep
+	slices.SortFunc(elig, func(a, b ClientID) int {
+		sa, sb := s.queues[a].front().seq, s.queues[b].front().seq
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
+		}
+		return 0
+	})
+	s.eligBuf = elig
+	return elig
+}
 
 // Stats returns the accumulated per-client statistics map (live view).
 func (s *Simulator) Stats() map[ClientID]*ClientStats { return s.stats }
@@ -173,28 +275,15 @@ func (s *Simulator) RunCFP() Beacon {
 	beacon := Beacon{AckMap: ackMap}
 	s.beacons++
 
-	if s.servedBuf == nil {
-		s.servedBuf = make(map[ClientID]bool)
-	} else {
-		clear(s.servedBuf)
-	}
-	served := s.servedBuf
+	// Eligible view: the clients with pending work, in FIFO order of
+	// their head packets. Each slot serves a group and strikes its
+	// members from the view (the serve-once-per-CFP rule), so the loop
+	// iterates pending work only — the full client roster is never
+	// touched.
+	elig := s.eligible()
 	var cfpSlots int
-	for {
-		// Eligible queue view: packets from clients not yet served this
-		// CFP, in FIFO order. The view buffer is reused across cycles;
-		// pickers only read it during PickGroup.
-		view := s.viewBuf[:0]
-		for _, qp := range s.queue {
-			if !served[qp.client] {
-				view = append(view, qp.client)
-			}
-		}
-		s.viewBuf = view
-		if len(view) == 0 {
-			break
-		}
-		group := s.picker.PickGroup(view, s.cfg.GroupSize, s.est)
+	for len(elig) > 0 {
+		group := s.picker.PickGroup(elig, s.cfg.GroupSize, s.est)
 		if len(group) == 0 {
 			break
 		}
@@ -205,7 +294,6 @@ func (s *Simulator) RunCFP() Beacon {
 		cfpSlots++
 		now := s.slots + cfpSlots
 		for i, c := range group {
-			served[c] = true
 			st := s.statFor(c)
 			st.Slots++
 			born, dropped := s.dequeueOne(c, res.Lost[i])
@@ -224,6 +312,14 @@ func (s *Simulator) RunCFP() Beacon {
 				}
 			}
 		}
+		// Strike served group members from the eligible view in place.
+		kept := elig[:0]
+		for _, c := range elig {
+			if !slices.Contains(group, c) {
+				kept = append(kept, c)
+			}
+		}
+		elig = kept
 	}
 	beacon.CFPDurationSlots = uint16(cfpSlots)
 	s.slots += cfpSlots + s.cfg.CPSlots
@@ -237,14 +333,10 @@ func (s *Simulator) RunCFP() Beacon {
 // served). It returns the group that transmitted (nil if the queue is
 // empty). Lost packets are requeued subject to MaxRetries.
 func (s *Simulator) RunSlot() []ClientID {
-	if len(s.queue) == 0 {
+	if s.queueLen == 0 {
 		return nil
 	}
-	view := make([]ClientID, len(s.queue))
-	for i, qp := range s.queue {
-		view[i] = qp.client
-	}
-	group := s.picker.PickGroup(view, s.cfg.GroupSize, s.est)
+	group := s.picker.PickGroup(s.eligible(), s.cfg.GroupSize, s.est)
 	if len(group) == 0 {
 		return nil
 	}
@@ -273,26 +365,28 @@ func (s *Simulator) RunSlot() []ClientID {
 	return group
 }
 
-// dequeueOne removes the first queued packet of the client; if lost and
-// retries remain it is re-appended at the tail ("the client ... asks for
-// a new transmission slot next time it is polled"). It returns the
-// packet's born slot and whether it left the system for good on a loss.
+// dequeueOne removes the client's head packet; if lost and retries
+// remain it is re-appended at the logical FIFO tail — a fresh arrival
+// stamp, so it ranks behind everything currently queued ("the client
+// ... asks for a new transmission slot next time it is polled"). It
+// returns the packet's born slot and whether it left the system for
+// good on a loss.
 func (s *Simulator) dequeueOne(c ClientID, lost bool) (born int, dropped bool) {
-	for i, qp := range s.queue {
-		if qp.client != c {
-			continue
-		}
-		s.queue = append(s.queue[:i], s.queue[i+1:]...)
-		if lost {
-			if qp.retries < s.cfg.MaxRetries {
-				s.queue = append(s.queue, queuedPacket{client: c, retries: qp.retries + 1, born: qp.born})
-				return qp.born, false
-			}
-			return qp.born, true
-		}
-		return qp.born, false
+	if int(c) >= len(s.queues) || s.queues[c].empty() {
+		return 0, false
 	}
-	return 0, false
+	qp := s.queues[c].pop()
+	s.queueLen--
+	if lost {
+		if qp.retries < s.cfg.MaxRetries {
+			s.seq++
+			s.queues[c].push(queuedPacket{client: c, retries: qp.retries + 1, born: qp.born, seq: s.seq})
+			s.queueLen++
+			return qp.born, false
+		}
+		return qp.born, true
+	}
+	return qp.born, false
 }
 
 func (s *Simulator) statFor(c ClientID) *ClientStats {

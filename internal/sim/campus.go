@@ -94,8 +94,8 @@ type CampusResult struct {
 // single-cell trial runner keeps. A Count of 0 or 1 degenerates to the
 // single-cell sweep (one cell, no leakage).
 func RunCampus(cfg Config) (CampusResult, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg, err := cfg.prepare()
+	if err != nil {
 		return CampusResult{}, err
 	}
 	cells := cfg.Cells.Count

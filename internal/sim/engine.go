@@ -10,6 +10,7 @@ import (
 	"iaclan/internal/core"
 	"iaclan/internal/mac"
 	"iaclan/internal/phy"
+	"iaclan/internal/sched"
 	"iaclan/internal/stats"
 	"iaclan/internal/testbed"
 )
@@ -88,17 +89,32 @@ type engine struct {
 	next  []float64 // next arrival time in slots (timed workloads)
 	batch []arrival // reusable arrival-sorting scratch
 
+	// Event-driven traffic plane (the default EngineWheel path). For
+	// timed workloads every client's next arrival is an armed timer on
+	// the hierarchical wheel, so a cycle costs the timers that fire, not
+	// the roster. Saturated workloads have no timers; refill/refillMark
+	// track the clients whose queues the MAC drained since the last
+	// top-up instead. Both are nil under EngineScan, the legacy
+	// every-client-every-cycle sweep kept as the differential-testing
+	// reference.
+	wheel      *sched.Wheel
+	fired      []int32
+	refill     []int32
+	refillMark []bool
+
 	// Per-client accounting (index = scenario client index). Latency
 	// lives in fixed-size quantile sketches, not sample slices, so the
 	// accounting stays allocation-flat however many packets a trial
-	// delivers.
+	// delivers; the store materializes a client's sketch on its first
+	// delivered packet, so a mostly-idle campus pays for active clients
+	// only.
 	pending   []int
 	offered   []int
 	delivered []int
 	dropped   []int
 	bufDrops  []int
 	rateSum   []float64
-	lat       []stats.Sketch
+	lat       latStore
 
 	// Observability state: resolved metric handles (nil without a
 	// registry), the lifecycle tracer (nil is a zero-alloc no-op), the
@@ -142,7 +158,7 @@ func newEngine(cfg Config) (*engine, error) {
 		dropped:   make([]int, cfg.Clients),
 		bufDrops:  make([]int, cfg.Clients),
 		rateSum:   make([]float64, cfg.Clients),
-		lat:       make([]stats.Sketch, cfg.Clients),
+		lat:       newLatStore(cfg.Clients),
 		met:       newSimMetrics(cfg.Obs),
 		trace:     cfg.Trace,
 		cell:      cfg.cell,
@@ -189,6 +205,26 @@ func newEngine(cfg Config) (*engine, error) {
 			e.next[i] = g.Next(e.rng) * e.rng.Float64()
 		}
 	}
+	if cfg.Engine != EngineScan {
+		if cfg.Workload.Kind == Saturated {
+			// No timers: saturated queues refill whenever the MAC drains
+			// them, so the dirty set starts as the whole roster and then
+			// tracks served clients only.
+			e.refillMark = make([]bool, cfg.Clients)
+			e.refill = make([]int32, 0, cfg.Clients)
+			for i := range e.refillMark {
+				e.refillMark[i] = true
+				e.refill = append(e.refill, int32(i))
+			}
+		} else {
+			// Arm one arrival timer per client. An idle client costs
+			// nothing from here on until its timer fires.
+			e.wheel = sched.New(cfg.Clients)
+			for i := range e.next {
+				e.wheel.Schedule(i, arrivalDeadline(e.next[i]))
+			}
+		}
+	}
 	picker, err := newPicker(cfg)
 	if err != nil {
 		return nil, err
@@ -217,8 +253,8 @@ func newPicker(cfg Config) (mac.GroupPicker, error) {
 // are rejected: a campus is a set of concurrent cells, not one trial —
 // use RunCampus.
 func Run(cfg Config) (TrialResult, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg, err := cfg.prepare()
+	if err != nil {
 		return TrialResult{}, err
 	}
 	if cfg.Cells.enabled() {
@@ -261,20 +297,37 @@ func (e *engine) cycle(c int) {
 	}
 }
 
-// generate advances every client's arrival process up to the current
+// generate advances the clients' arrival processes up to the current
 // airtime clock and enqueues the new packets at the leader in true
 // arrival order across clients — the FIFO order the pickers' head-of-
 // queue anti-starvation pin assumes. Ties break by client index, which
 // keeps the run deterministic.
+//
+// Two implementations share those semantics bit for bit. The default
+// event-driven path (EngineWheel) pops expired arrival timers off the
+// hierarchical wheel (or, for saturated sources, walks the MAC-drained
+// dirty set), so a cycle costs the clients with work. The legacy scan
+// path (EngineScan) sweeps the whole roster every cycle and is kept as
+// the reference the equivalence tests and fuzzers pin the wheel
+// against.
 func (e *engine) generate() {
+	switch {
+	case e.refillMark != nil:
+		e.generateSaturatedActive()
+	case e.wheel != nil:
+		e.generateWheel()
+	default:
+		e.generateScan()
+	}
+}
+
+// generateScan is the legacy traffic plane: advance every client, every
+// cycle — O(clients) even when almost everyone is idle.
+func (e *engine) generateScan() {
 	now := float64(e.sim.Slots())
 	if e.cfg.Workload.Kind == Saturated {
 		for i := range e.gens {
-			for e.pending[i] < saturatedDepth {
-				e.offered[i]++
-				e.pending[i]++
-				e.sim.EnqueueBorn(mac.ClientID(i), int(now))
-			}
+			e.topUp(i, int(now))
 		}
 		return
 	}
@@ -285,6 +338,69 @@ func (e *engine) generate() {
 			e.next[i] += e.gens[i].Next(e.rng)
 		}
 	}
+	e.enqueueBatch(batch)
+}
+
+// generateWheel is the event-driven traffic plane: advance the wheel to
+// the airtime clock, pop the expired arrival timers, advance only those
+// clients' generators, and re-arm each at its next arrival. The fired
+// set is sorted by client index before any generator draws from the
+// shared RNG, so the draw order — and therefore every downstream bit —
+// matches the scan path exactly: a client fires iff its next arrival
+// time is <= now, which is precisely the scan path's advance condition.
+func (e *engine) generateWheel() {
+	now := e.sim.Slots()
+	nowF := float64(now)
+	e.fired = e.wheel.Advance(uint64(now), e.fired[:0])
+	if len(e.fired) == 0 {
+		return
+	}
+	slices.Sort(e.fired)
+	batch := e.batch[:0]
+	for _, id := range e.fired {
+		i := int(id)
+		for e.next[i] <= nowF {
+			batch = append(batch, arrival{born: e.next[i], client: i})
+			e.next[i] += e.gens[i].Next(e.rng)
+		}
+		e.wheel.Schedule(i, arrivalDeadline(e.next[i]))
+	}
+	e.emit(Event{Kind: EventTimersFired, Cycle: e.cycleNo, Slot: now,
+		Value: float64(len(e.fired))})
+	e.enqueueBatch(batch)
+}
+
+// generateSaturatedActive tops up only the clients whose queues the MAC
+// drained since the last cycle (the dirty set the delivery/drop hooks
+// maintain), in client-index order — the same enqueue order the scan
+// path produces, minus the clients whose queues were already full.
+func (e *engine) generateSaturatedActive() {
+	now := e.sim.Slots()
+	if len(e.refill) == 0 {
+		return
+	}
+	slices.Sort(e.refill)
+	for _, id := range e.refill {
+		e.refillMark[id] = false
+		e.topUp(int(id), now)
+	}
+	e.refill = e.refill[:0]
+}
+
+// topUp keeps one saturated client's queue at saturatedDepth.
+func (e *engine) topUp(i, now int) {
+	for e.pending[i] < saturatedDepth {
+		e.offered[i]++
+		e.pending[i]++
+		e.sim.EnqueueBorn(mac.ClientID(i), now)
+	}
+}
+
+// enqueueBatch sorts a cycle's arrivals into true arrival order (ties
+// by client index) and enqueues them at the leader, dropping arrivals
+// beyond a client's buffer cap. Shared verbatim by the wheel and scan
+// paths — the ordering rule is the determinism contract.
+func (e *engine) enqueueBatch(batch []arrival) {
 	e.batch = batch
 	slices.SortFunc(batch, func(a, b arrival) int {
 		switch {
@@ -508,13 +624,24 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	return groupOutcome{ok: true, sumRate: res.SumRate, perClient: per, planned: planned, packets: res.Plan.NumPackets()}
 }
 
+// markRefill records that the MAC drained one of the client's packets,
+// so the saturated top-up pass must revisit it next cycle. A no-op on
+// every other workload/engine combination.
+func (e *engine) markRefill(i int) {
+	if e.refillMark != nil && !e.refillMark[i] {
+		e.refillMark[i] = true
+		e.refill = append(e.refill, int32(i))
+	}
+}
+
 // PacketDelivered implements mac.Tracer.
 func (e *engine) PacketDelivered(c mac.ClientID, born, now int, rate float64) {
 	i := int(c)
 	e.pending[i]--
 	e.delivered[i]++
 	e.rateSum[i] += rate
-	e.lat[i].Add(float64(now - born))
+	e.lat.forClient(i).Add(float64(now - born))
+	e.markRefill(i)
 }
 
 // PacketDropped implements mac.Tracer.
@@ -522,6 +649,7 @@ func (e *engine) PacketDropped(c mac.ClientID, born, now int) {
 	i := int(c)
 	e.pending[i]--
 	e.dropped[i]++
+	e.markRefill(i)
 }
 
 // result freezes the trial's accumulated state into a TrialResult.
@@ -553,13 +681,13 @@ func (e *engine) result() TrialResult {
 		if e.delivered[i] > 0 {
 			cm.MeanRate = e.rateSum[i] / float64(e.delivered[i])
 		}
-		if e.lat[i].Count() > 0 {
-			cm.MeanLatencySlots = e.lat[i].Mean()
-			cm.P95LatencySlots = e.lat[i].Quantile(95)
+		if sk := e.lat.get(i); sk != nil && sk.Count() > 0 {
+			cm.MeanLatencySlots = sk.Mean()
+			cm.P95LatencySlots = sk.Quantile(95)
 		}
 		thr[i] = cm.ThroughputBitsPerSlot
 		tr.SumThroughputBitsPerSlot += cm.ThroughputBitsPerSlot
-		pooled.Merge(&e.lat[i])
+		pooled.Merge(e.lat.get(i))
 		offered += e.offered[i]
 		delivered += e.delivered[i]
 		dropped += e.dropped[i]
@@ -596,6 +724,12 @@ func (e *engine) result() TrialResult {
 		hits, misses := e.chans.Counters()
 		m.cacheHits.Add(hits)
 		m.cacheMisses.Add(misses)
+		if e.wheel != nil {
+			ws := e.wheel.Stats()
+			m.timersScheduled.Add(ws.Scheduled)
+			m.timersFired.Add(ws.Fired)
+			m.timersCascaded.Add(ws.Cascaded)
+		}
 		m.latency.Merge(pooled)
 	}
 	e.emit(Event{Kind: EventTrialDone, Cycle: e.cfg.Cycles, Slot: slots,

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+
+	"iaclan/internal/stats"
+)
+
+// latDenseMax is the roster size up to which the latency store keeps
+// one dense sketch per client. A stats.Sketch is a fixed ~8 KiB value,
+// so the dense layout is a single allocation and exactly what the
+// engine always did — small configs keep their allocation profile to
+// the byte (the bench gate fails on any allocs/op growth). Above the
+// threshold a dense slice would cost sketch-size × roster (≈ 800 MiB
+// at 10^5 clients), so the store switches to a pointer table backed by
+// a chunked arena and materializes a client's sketch on first use:
+// a mostly-idle campus pays for the clients that deliver packets.
+const latDenseMax = 1024
+
+// latChunk is the sparse arena's growth quantum, in sketches.
+const latChunk = 64
+
+// latStore is the engine's per-client latency accounting: logically a
+// sketch per client, physically dense or lazily-materialized sparse
+// depending on roster size. Not safe for concurrent use (each engine
+// owns one).
+type latStore struct {
+	dense  []stats.Sketch
+	sparse []*stats.Sketch
+	arena  []stats.Sketch
+}
+
+func newLatStore(n int) latStore {
+	if n <= latDenseMax {
+		return latStore{dense: make([]stats.Sketch, n)}
+	}
+	return latStore{sparse: make([]*stats.Sketch, n)}
+}
+
+// forClient returns client i's sketch, materializing it in the sparse
+// layout. Use get for read-only paths that must not allocate.
+func (l *latStore) forClient(i int) *stats.Sketch {
+	if l.dense != nil {
+		return &l.dense[i]
+	}
+	if l.sparse[i] == nil {
+		if len(l.arena) == 0 {
+			l.arena = make([]stats.Sketch, latChunk)
+		}
+		l.sparse[i] = &l.arena[0]
+		l.arena = l.arena[1:]
+	}
+	return l.sparse[i]
+}
+
+// get returns client i's sketch, or nil if the client never recorded a
+// latency sample (sparse layout only; the dense layout's zero-value
+// sketches report Count 0 the same way).
+func (l *latStore) get(i int) *stats.Sketch {
+	if l.dense != nil {
+		return &l.dense[i]
+	}
+	return l.sparse[i]
+}
+
+// arrivalDeadline converts a generator's next-arrival time (fractional
+// slots) into the wheel deadline of the cycle that must process it:
+// the first integer slot clock with next <= now, i.e. ceil(next). The
+// scan path advances a client when next <= now for the integer now, so
+// firing at ceil(next) is the same condition — the equivalence the
+// wheel/scan differential tests pin. Times at or below zero are due
+// immediately; times beyond the wheel's representable range clamp to a
+// deadline past any reachable airtime.
+func arrivalDeadline(t float64) uint64 {
+	if t <= 0 {
+		return 0
+	}
+	d := math.Ceil(t)
+	if d >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(d)
+}

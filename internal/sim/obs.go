@@ -33,6 +33,14 @@ const (
 	metricRetrainSlots    = "sim_retrain_slots"
 	metricCacheHits       = "slotcache_hits"
 	metricCacheMisses     = "slotcache_misses"
+	// metricTimers* expose the event-driven traffic plane's hierarchical
+	// timing wheel: arrival timers armed (re-arms included), timers
+	// popped by wheel advances, and entry moves between wheel levels.
+	// All three stay zero under EngineScan and for saturated workloads,
+	// which run no timers.
+	metricTimersScheduled = "sim_timers_scheduled"
+	metricTimersFired     = "sim_timers_fired"
+	metricTimersCascaded  = "sim_timers_cascaded"
 	// metricLatency is the campus-wide pooled latency distribution
 	// (arrival-to-ack, in slots), one sketch merge per trial.
 	metricLatency = "sim_latency_slots"
@@ -68,6 +76,9 @@ type simMetrics struct {
 	retrainSlots    *obs.Counter
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
+	timersScheduled *obs.Counter
+	timersFired     *obs.Counter
+	timersCascaded  *obs.Counter
 	latency         *obs.Distribution
 }
 
@@ -92,6 +103,9 @@ func newSimMetrics(reg *obs.Registry) *simMetrics {
 		retrainSlots:    reg.Counter(metricRetrainSlots),
 		cacheHits:       reg.Counter(metricCacheHits),
 		cacheMisses:     reg.Counter(metricCacheMisses),
+		timersScheduled: reg.Counter(metricTimersScheduled),
+		timersFired:     reg.Counter(metricTimersFired),
+		timersCascaded:  reg.Counter(metricTimersCascaded),
 		latency:         reg.Distribution(metricLatency),
 	}
 }

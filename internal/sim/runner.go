@@ -50,8 +50,8 @@ func shard(n, workers int, fn func(i int)) {
 // completion even if another fails; the first error (in trial order)
 // is reported after the sweep drains.
 func RunTrials(cfg Config, trials, workers int) ([]TrialResult, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg, err := cfg.prepare()
+	if err != nil {
 		return nil, err
 	}
 	if trials <= 0 {

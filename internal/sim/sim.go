@@ -31,6 +31,26 @@ const (
 	PickerBruteForce = "brute-force"
 )
 
+// Engine names for Config.Engine.
+const (
+	// EngineWheel is the default event-driven traffic plane: per-client
+	// arrival timers on a hierarchical timing wheel (saturated workloads
+	// use a MAC-drained dirty set instead), so a cycle costs the clients
+	// with work, not the roster. The empty string selects it.
+	EngineWheel = "wheel"
+	// EngineScan is the legacy traffic plane that sweeps every client
+	// every cycle. Bit-identical to EngineWheel by construction; kept as
+	// the reference the equivalence tests and fuzzers pin the wheel
+	// against, and as an escape hatch.
+	EngineScan = "scan"
+)
+
+// maxClients is the hard cap on clients per cell: the MAC's wire format
+// addresses clients with 16 bits (mac.ClientID), so one cell holds at
+// most 65536 clients. Larger populations shard across Cells — a campus
+// of 10 cells carries 10^5+ clients with per-cell ids staying in range.
+const maxClients = 1 << 16
+
 // Config parametrizes one simulation trial (and, via Trials/Workers,
 // a trial sweep).
 type Config struct {
@@ -62,6 +82,13 @@ type Config struct {
 	// Picker selects the concurrency algorithm (PickerFIFO,
 	// PickerBestOfTwo, PickerBruteForce).
 	Picker string
+	// Engine selects the traffic plane: EngineWheel (the default; the
+	// empty string means it too) runs the event-driven timing-wheel core
+	// whose per-cycle cost scales with active clients, EngineScan the
+	// legacy every-client-every-cycle sweep. The two are bit-identical —
+	// EngineScan exists as the differential-testing reference and escape
+	// hatch, not as a different model.
+	Engine string
 	// Workload is the per-client offered-load model.
 	Workload Workload
 	// Dynamics configures time-varying channel state: block fading per
@@ -175,10 +202,34 @@ func (c Config) withDefaults() Config {
 // validate restricts IAC mode to GroupSize 3.
 func (c Config) iacMode() bool { return c.GroupSize > 1 }
 
+// Validate reports whether the configuration, after zero-value fields
+// are filled from Default, names a runnable simulation. It is the one
+// validation gate every entry point (Run, RunTrials, RunSweep,
+// RunCampus) applies, so callers can pre-flight a Config and rely on
+// getting the same answer — and the same error text — the runners
+// would give.
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
+// prepare is the runners' shared admission step: fill defaults, then
+// validate. Keeping it one helper is what keeps every entry point's
+// error text identical for the same bad Config.
+func (c Config) prepare() (Config, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // validate rejects configurations the slot shapes cannot serve.
 func (c Config) validate() error {
 	if c.Clients < 1 {
 		return fmt.Errorf("sim: need at least one client")
+	}
+	if c.Clients > maxClients {
+		return fmt.Errorf("sim: %d clients exceed the %d-per-cell MAC address space; shard across Cells", c.Clients, maxClients)
 	}
 	if c.APs < 1 {
 		return fmt.Errorf("sim: need at least one AP")
@@ -210,6 +261,11 @@ func (c Config) validate() error {
 	case PickerFIFO, PickerBestOfTwo, PickerBruteForce:
 	default:
 		return fmt.Errorf("sim: unknown picker %q", c.Picker)
+	}
+	switch c.Engine {
+	case "", EngineWheel, EngineScan:
+	default:
+		return fmt.Errorf("sim: unknown engine %q", c.Engine)
 	}
 	if c.PacketBytes < 1 {
 		return fmt.Errorf("sim: PacketBytes must be >= 1")

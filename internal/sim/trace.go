@@ -21,6 +21,12 @@ const (
 	// EventRetrain fires when the re-training schedule runs a survey
 	// round. Cycle is the CFP cycle, Value the training slots charged.
 	EventRetrain
+	// EventTimersFired fires once per cycle in which the event-driven
+	// traffic plane popped expired arrival timers off the hierarchical
+	// wheel. Slot is the airtime clock the wheel advanced to, Value the
+	// number of timers that fired. Never emitted under EngineScan or for
+	// saturated workloads (which have no timers).
+	EventTimersFired
 	// EventTrialDone fires once per finished trial. Slot carries the
 	// trial's total airtime, Value its sum throughput in bits/slot.
 	EventTrialDone
@@ -40,6 +46,8 @@ func (k EventKind) String() string {
 		return "chain-decode-failed"
 	case EventRetrain:
 		return "retrain"
+	case EventTimersFired:
+		return "timers-fired"
 	case EventTrialDone:
 		return "trial-done"
 	case EventCellDone:
