@@ -13,12 +13,17 @@
 //	iacsim -workload saturated -noise-db 12 -residual -mcs -compare
 //	iacsim -aps 4 -cells 4 -leak 0.15 -workload saturated -mcs
 //	iacsim -cells 4 -trials 8 -status-addr localhost:8080   # live metrics at /status
+//	iacsim -cells 4 -trials 16 -pipeline -pprof-addr localhost:6060   # pipelined runner + profiles
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"iaclan"
@@ -52,10 +57,12 @@ func main() {
 		residual = flag.Bool("residual", false, "imperfect cancellation: residues scale with the decoded packet's error")
 		mcs      = flag.Bool("mcs", false, "discrete MCS rate adaptation with per-packet outage for both schemes")
 
-		cells = flag.Int("cells", 1, "multi-cell campus: number of cells (each -clients x -aps)")
-		leak  = flag.Float64("leak", 0.1, "inter-cell interference leakage per neighbour cell in [0,1]")
+		cells    = flag.Int("cells", 1, "multi-cell campus: number of cells (each -clients x -aps)")
+		leak     = flag.Float64("leak", 0.1, "inter-cell interference leakage per neighbour cell in [0,1]")
+		pipeline = flag.Bool("pipeline", false, "run campus sweeps through the pipelined runner (pinned workspace arenas, SPSC rings); bit-identical results")
 
 		statusAddr = flag.String("status-addr", "", "serve live metrics on this host:port while the simulation runs (GET /status for JSON, /debug/vars for expvar); empty disables")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this host:port while the simulation runs (profiles at /debug/pprof/); empty disables")
 	)
 	flag.Parse()
 	if *dir != "up" && *dir != "down" {
@@ -104,12 +111,36 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("status server: http://%s/status\n", srv.Addr())
 	}
+	if *pprofAddr != "" {
+		// The profiling plane: registering net/http/pprof's handlers on
+		// their own mux (not DefaultServeMux) keeps the endpoint opt-in
+		// and separate from the metrics server. Like -status-addr it
+		// never perturbs results.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("iacsim: pprof server: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("iacsim: pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof server: http://%s/debug/pprof/\n", ln.Addr())
+	}
 	if *cells != 1 {
 		// Pass non-default values through even when invalid (negative
 		// counts, leak out of range) so the engine's validation reports
 		// them instead of silently running a single cell.
 		cfg.Cells = iaclan.SimCells{Count: *cells, Leak: *leak}
 	}
+	cfg.Pipeline = *pipeline
 
 	fmt.Printf("IAC traffic simulation: %d clients, %d APs, %s-link, %s load %.3g pkt/slot, %d cycles x %d trials\n",
 		cfg.Clients, cfg.APs, *dir, *workload, *load, cfg.Cycles, cfg.Trials)

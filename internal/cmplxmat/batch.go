@@ -1,0 +1,86 @@
+package cmplxmat
+
+// Batched flat/SoA kernels. The slot-planning layers gather many small
+// independent systems — candidate-plan solves, received-direction
+// products — into one contiguous strided buffer and dispatch a single
+// kernel call instead of K pointer-chasing method calls. Each kernel
+// runs the exact inner loops of its scalar *WS twin (luFactorInPlace /
+// luSolveData / mulVecData), so batch results are bitwise-identical to
+// K scalar calls; the batch buys locality and call overhead, never
+// different arithmetic. Equivalence is pinned by TestSolveBatchWS /
+// TestEvaluateBatchWS and fuzzed by FuzzSolveWS.
+
+// SolveBatchWS solves k independent n x n linear systems packed in one
+// contiguous strided buffer: system i has its row-major matrix in
+// a[i*n*n : (i+1)*n*n] and its right-hand side in b[i*n : (i+1)*n].
+// The solutions come back in the same k x n strided layout, with a
+// per-system ok flag; a singular system (the scalar twin's ErrSingular)
+// reports ok[i] = false and leaves its solution block zeroed. Scratch
+// and results live in the arena. Bitwise-identical to k SolveWS calls.
+func SolveBatchWS(ws *Workspace, n, k int, a, b []complex128) (x []complex128, ok []bool) {
+	if len(a) != k*n*n || len(b) != k*n {
+		panic("cmplxmat: SolveBatchWS buffer size mismatch")
+	}
+	lu := ws.Complexes(k * n * n)
+	copy(lu, a)
+	perm := ws.Ints(n)
+	x = ws.Complexes(k * n)
+	ok = ws.Bools(k)
+	for i := 0; i < k; i++ {
+		d := lu[i*n*n : (i+1)*n*n]
+		if _, good := luFactorInPlace(d, n, perm); good {
+			ok[i] = true
+			luSolveData(d, n, perm, Vector(b[i*n:(i+1)*n]), Vector(x[i*n:(i+1)*n]))
+		}
+	}
+	return x, ok
+}
+
+// EvaluateBatchWS runs k independent matrix-vector products — the
+// received-direction evaluations y_i = H_i v_i at the bottom of every
+// slot evaluation — over one contiguous strided buffer: h packs k
+// row-major rows x cols matrices, v packs k cols-vectors, and the
+// result packs k rows-vectors. Bitwise-identical to k MulVecWS calls.
+func EvaluateBatchWS(ws *Workspace, rows, cols, k int, h, v []complex128) []complex128 {
+	if len(h) != k*rows*cols || len(v) != k*cols {
+		panic("cmplxmat: EvaluateBatchWS buffer size mismatch")
+	}
+	y := ws.Complexes(k * rows)
+	for i := 0; i < k; i++ {
+		mulVecData(h[i*rows*cols:(i+1)*rows*cols], rows, cols, v[i*cols:(i+1)*cols], y[i*rows:(i+1)*rows])
+	}
+	return y
+}
+
+// PackInto copies m's row-major entries into dst — the gather step that
+// lines a matrix up inside a batch buffer. dst must have m.rows*m.cols
+// elements.
+func (m *Matrix) PackInto(dst []complex128) {
+	if len(dst) != len(m.data) {
+		panic("cmplxmat: PackInto size mismatch")
+	}
+	copy(dst, m.data)
+}
+
+// PackDiffInto writes the entrywise difference a - b into dst in
+// row-major order, performing the exact subtractions SubWS would, so a
+// batched product over the packed difference matches SubWS + MulVecWS
+// bit for bit.
+func PackDiffInto(dst []complex128, a, b *Matrix) {
+	a.mustSameShape(b)
+	if len(dst) != len(a.data) {
+		panic("cmplxmat: PackDiffInto size mismatch")
+	}
+	for i := range a.data {
+		dst[i] = a.data[i] - b.data[i]
+	}
+}
+
+// PackVecInto copies v into dst — the right-hand-side/encoding gather
+// companion of PackInto.
+func PackVecInto(dst []complex128, v Vector) {
+	if len(dst) != len(v) {
+		panic("cmplxmat: PackVecInto size mismatch")
+	}
+	copy(dst, v)
+}

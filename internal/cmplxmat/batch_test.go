@@ -1,0 +1,137 @@
+package cmplxmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSolveBatchWS pins the batch kernel's bitwise-equivalence contract:
+// K packed solves produce exactly the bits of K scalar SolveWS calls,
+// including the error behavior of singular systems, across the antenna
+// dimensions the simulator uses.
+func TestSolveBatchWS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 3, 4} {
+		for k := 1; k <= 9; k++ {
+			mats := make([]*Matrix, k)
+			rhs := make([]Vector, k)
+			a := make([]complex128, k*n*n)
+			b := make([]complex128, k*n)
+			for i := 0; i < k; i++ {
+				if i%4 == 3 {
+					mats[i] = New(n, n) // singular: all zeros
+				} else {
+					mats[i] = RandomGaussian(rng, n, n)
+				}
+				rhs[i] = RandomGaussianVector(rng, n)
+				mats[i].PackInto(a[i*n*n : (i+1)*n*n])
+				PackVecInto(b[i*n:(i+1)*n], rhs[i])
+			}
+			ws := NewWorkspace()
+			x, ok := SolveBatchWS(ws, n, k, a, b)
+			for i := 0; i < k; i++ {
+				sw := NewWorkspace()
+				want, err := mats[i].SolveWS(sw, rhs[i])
+				if ok[i] != (err == nil) {
+					t.Fatalf("n=%d k=%d system %d: ok=%v scalar err=%v", n, k, i, ok[i], err)
+				}
+				if err != nil {
+					for _, c := range x[i*n : (i+1)*n] {
+						if c != 0 {
+							t.Fatalf("n=%d k=%d system %d: singular block not zeroed", n, k, i)
+						}
+					}
+					continue
+				}
+				if !bitEqualC(x[i*n:(i+1)*n], want) {
+					t.Fatalf("n=%d k=%d system %d diverged:\n batch=%v\n scalar=%v",
+						n, k, i, x[i*n:(i+1)*n], want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchWS pins the batched direction kernel against K
+// scalar MulVecWS calls, including the PackDiffInto gather path against
+// SubWS + MulVecWS.
+func TestEvaluateBatchWS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{2, 2}, {3, 3}, {4, 4}, {2, 4}, {3, 2}} {
+		rows, cols := dims[0], dims[1]
+		const k = 7
+		mats := make([]*Matrix, k)
+		sub := make([]*Matrix, k)
+		vecs := make([]Vector, k)
+		h := make([]complex128, k*rows*cols)
+		hd := make([]complex128, k*rows*cols)
+		v := make([]complex128, k*cols)
+		for i := 0; i < k; i++ {
+			mats[i] = RandomGaussian(rng, rows, cols)
+			sub[i] = RandomGaussian(rng, rows, cols)
+			vecs[i] = RandomGaussianVector(rng, cols)
+			mats[i].PackInto(h[i*rows*cols : (i+1)*rows*cols])
+			PackDiffInto(hd[i*rows*cols:(i+1)*rows*cols], mats[i], sub[i])
+			PackVecInto(v[i*cols:(i+1)*cols], vecs[i])
+		}
+		ws := NewWorkspace()
+		y := EvaluateBatchWS(ws, rows, cols, k, h, v)
+		yd := EvaluateBatchWS(ws, rows, cols, k, hd, v)
+		for i := 0; i < k; i++ {
+			sw := NewWorkspace()
+			want := mats[i].MulVecWS(sw, vecs[i])
+			if !bitEqualC(y[i*rows:(i+1)*rows], want) {
+				t.Fatalf("%dx%d product %d diverged from MulVecWS", rows, cols, i)
+			}
+			wantD := mats[i].SubWS(sw, sub[i]).MulVecWS(sw, vecs[i])
+			if !bitEqualC(yd[i*rows:(i+1)*rows], wantD) {
+				t.Fatalf("%dx%d diff product %d diverged from SubWS+MulVecWS", rows, cols, i)
+			}
+		}
+	}
+}
+
+// benchSolveBatch packs K n x n systems once and times one strided
+// kernel dispatch per iteration.
+func benchSolveBatch(b *testing.B, n, k int) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]complex128, k*n*n)
+	rhs := make([]complex128, k*n)
+	for i := 0; i < k; i++ {
+		RandomGaussian(rng, n, n).PackInto(a[i*n*n : (i+1)*n*n])
+		PackVecInto(rhs[i*n:(i+1)*n], RandomGaussianVector(rng, n))
+	}
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		SolveBatchWS(ws, n, k, a, rhs)
+	}
+}
+
+// benchSolveScalar is the pointer-chasing baseline: K separate SolveWS
+// calls over individual matrices.
+func benchSolveScalar(b *testing.B, n, k int) {
+	rng := rand.New(rand.NewSource(3))
+	mats := make([]*Matrix, k)
+	rhs := make([]Vector, k)
+	for i := 0; i < k; i++ {
+		mats[i] = RandomGaussian(rng, n, n)
+		rhs[i] = RandomGaussianVector(rng, n)
+	}
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		for j := 0; j < k; j++ {
+			if _, err := mats[j].SolveWS(ws, rhs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSolveBatch(b *testing.B)       { benchSolveBatch(b, 3, 16) }
+func BenchmarkSolveBatchScalar(b *testing.B) { benchSolveScalar(b, 3, 16) }

@@ -132,14 +132,21 @@ func (m *Matrix) MulVecWS(ws *Workspace, v Vector) Vector {
 		panic("cmplxmat: MulVecWS shape mismatch")
 	}
 	out := ws.Vector(m.rows)
-	for i := 0; i < m.rows; i++ {
-		var s complex128
-		for j := 0; j < m.cols; j++ {
-			s += m.data[i*m.cols+j] * v[j]
-		}
-		out[i] = s
-	}
+	mulVecData(m.data, m.rows, m.cols, v, out)
 	return out
+}
+
+// mulVecData is the y = H v inner loop over flat row-major storage,
+// shared by MulVecWS and the batched EvaluateBatchWS kernel so the two
+// stay bitwise-identical.
+func mulVecData(h []complex128, rows, cols int, v, y []complex128) {
+	for i := 0; i < rows; i++ {
+		var s complex128
+		for j := 0; j < cols; j++ {
+			s += h[i*cols+j] * v[j]
+		}
+		y[i] = s
+	}
 }
 
 // HWS returns the conjugate transpose of m in the arena.
@@ -227,14 +234,24 @@ func (m *Matrix) luDecomposeWS(ws *Workspace) (lu *Matrix, perm []int, swaps int
 	n := m.rows
 	lu = m.CloneWS(ws)
 	perm = ws.Ints(n)
+	swaps, ok = luFactorInPlace(lu.data, n, perm)
+	return lu, perm, swaps, ok
+}
+
+// luFactorInPlace runs the partial-pivot elimination of one n x n system
+// packed row-major in data, recording the row permutation in perm
+// (length n). It is the single elimination loop the scalar LU path and
+// the batched SolveBatchWS kernel share, which is what makes the two
+// bitwise-identical: same floating-point operations, same order.
+func luFactorInPlace(data []complex128, n int, perm []int) (swaps int, ok bool) {
 	for i := range perm {
 		perm[i] = i
 	}
 	ok = true
 	for k := 0; k < n; k++ {
-		p, best := k, cmplx.Abs(lu.data[k*n+k])
+		p, best := k, cmplx.Abs(data[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if a := cmplx.Abs(lu.data[i*n+k]); a > best {
+			if a := cmplx.Abs(data[i*n+k]); a > best {
 				p, best = i, a
 			}
 		}
@@ -244,40 +261,45 @@ func (m *Matrix) luDecomposeWS(ws *Workspace) (lu *Matrix, perm []int, swaps int
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
-				lu.data[k*n+j], lu.data[p*n+j] = lu.data[p*n+j], lu.data[k*n+j]
+				data[k*n+j], data[p*n+j] = data[p*n+j], data[k*n+j]
 			}
 			perm[k], perm[p] = perm[p], perm[k]
 			swaps++
 		}
-		piv := lu.data[k*n+k]
+		piv := data[k*n+k]
 		for i := k + 1; i < n; i++ {
-			f := lu.data[i*n+k] / piv
-			lu.data[i*n+k] = f
+			f := data[i*n+k] / piv
+			data[i*n+k] = f
 			for j := k + 1; j < n; j++ {
-				lu.data[i*n+j] -= f * lu.data[k*n+j]
+				data[i*n+j] -= f * data[k*n+j]
 			}
 		}
 	}
-	return lu, perm, swaps, ok
+	return swaps, ok
 }
 
 // luSolveInto runs permutation + forward/back substitution of one
 // right-hand side through a packed LU factorization, writing into x.
 func luSolveInto(lu *Matrix, perm []int, b, x Vector) {
-	n := lu.rows
+	luSolveData(lu.data, lu.rows, perm, b, x)
+}
+
+// luSolveData is luSolveInto over a flat packed factorization — shared
+// by the scalar path and the batched kernel (see luFactorInPlace).
+func luSolveData(data []complex128, n int, perm []int, b, x Vector) {
 	for i := 0; i < n; i++ {
 		x[i] = b[perm[i]]
 	}
 	for i := 1; i < n; i++ {
 		for j := 0; j < i; j++ {
-			x[i] -= lu.data[i*n+j] * x[j]
+			x[i] -= data[i*n+j] * x[j]
 		}
 	}
 	for i := n - 1; i >= 0; i-- {
 		for j := i + 1; j < n; j++ {
-			x[i] -= lu.data[i*n+j] * x[j]
+			x[i] -= data[i*n+j] * x[j]
 		}
-		x[i] /= lu.data[i*n+i]
+		x[i] /= data[i*n+i]
 	}
 }
 

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iaclan/internal/cmplxmat"
+)
+
+// evalBitEqualF compares float slices by bit pattern — the batched
+// evaluator's contract is bit-identity with the scalar path, not
+// tolerance-level agreement.
+func evalBitEqualF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func evalBitEqualV(a, b cmplxmat.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// perturbedEstimate corrupts a channel set the way estimation noise
+// does, so the est/true split (zero-forcing off est, measuring under
+// true, leakage through the difference) is exercised.
+func perturbedEstimate(rng *rand.Rand, cs ChannelSet) ChannelSet {
+	est := NewChannelSet(cs.NumTx(), cs.NumRx())
+	m := cs.Antennas()
+	for tx := range cs {
+		for rx := range cs[tx] {
+			noise := cmplxmat.RandomGaussian(rng, m, m).Scale(complex(0.05*cs[tx][rx].FrobeniusNorm()/float64(m), 0))
+			est[tx][rx] = cs[tx][rx].Add(noise)
+		}
+	}
+	return est
+}
+
+// TestEvaluateJobsWS pins the direction-table batched evaluator bitwise
+// against per-job EvaluateOptsWS across every slot shape the testbed
+// produces — uplink three, N-AP chains at M = 2..4, the downlink
+// triangle — under perturbed estimates, residual-cancel leakage, a
+// discrete rate table, and a decode threshold, plus structural-error
+// equivalence for an invalid plan.
+func TestEvaluateJobsWS(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mcs := func(sinr float64) float64 {
+		switch {
+		case sinr >= 15:
+			return 6
+		case sinr >= 7:
+			return 4.5
+		case sinr >= 3:
+			return 3
+		case sinr >= 1:
+			return 1.5
+		default:
+			return 0
+		}
+	}
+	decodes := func(_ int, sinr float64) bool { return sinr >= 1 }
+
+	type caseDef struct {
+		name string
+		opts EvalOptions
+	}
+	base := EvalOptions{NodePower: 1.0, Noise: testNoise / testSNR}
+	cases := []caseDef{
+		{"shannon", base},
+		{"residual-cancel", EvalOptions{NodePower: 1.0, Noise: base.Noise, ResidualCancel: true}},
+		{"mcs", EvalOptions{NodePower: 1.0, Noise: base.Noise, Rate: mcs, Decodes: decodes}},
+		{"mcs-residual", EvalOptions{NodePower: 1.0, Noise: base.Noise, ResidualCancel: true, Rate: mcs, Decodes: decodes}},
+	}
+
+	var jobs []EvalJob
+	addJob := func(plan *Plan, cs ChannelSet, opts EvalOptions) {
+		jobs = append(jobs, EvalJob{Plan: plan, TrueCS: cs, EstCS: perturbedEstimate(rng, cs), Opts: opts})
+	}
+	for _, c := range cases {
+		// Uplink three: 2 clients, 2 APs, M=2.
+		cs := RandomChannelSet(rng, 2, 2, 2, testSNR)
+		plan, err := SolveUplinkThree(cs, rng)
+		if err != nil {
+			t.Fatalf("%s uplink three: %v", c.name, err)
+		}
+		addJob(plan, cs, c.opts)
+
+		// N-AP chains at every antenna count in simulator range — these
+		// land in separate batch groups (distinct M), exercising the
+		// group loop.
+		for m := 2; m <= 4; m++ {
+			clients := UplinkChainAssignment{M: m}.NumClients()
+			ccs := RandomChannelSet(rng, clients, UplinkAPsNeeded(m), m, testSNR)
+			cp, err := SolveUplinkChain(ccs, rng)
+			if err != nil {
+				t.Fatalf("%s chain M=%d: %v", c.name, m, err)
+			}
+			addJob(cp, ccs, c.opts)
+		}
+
+		// Downlink triangle: 3 APs, 3 clients, M=2.
+		tcs := RandomChannelSet(rng, 3, 3, 2, testSNR)
+		tp, err := SolveDownlinkTriangle(tcs)
+		if err != nil {
+			t.Fatalf("%s triangle: %v", c.name, err)
+		}
+		addJob(tp, tcs, c.opts)
+	}
+
+	// An invalid plan must report the same error as the scalar path
+	// without disturbing its neighbors.
+	badCS := RandomChannelSet(rng, 2, 2, 2, testSNR)
+	badPlan, err := SolveUplinkThree(badCS, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *badPlan
+	bad.Schedule = []DecodeStep{{Rx: 0, Packets: []int{0, 0}}, {Rx: 1, Packets: []int{1, 2}}}
+	jobs = append(jobs, EvalJob{Plan: &bad, TrueCS: badCS, EstCS: badCS, Opts: base})
+
+	ws := cmplxmat.NewWorkspace()
+	products := EvaluateJobsWS(ws, jobs)
+	if products <= 0 {
+		t.Fatalf("batched %d products, want > 0", products)
+	}
+
+	for i := range jobs {
+		j := &jobs[i]
+		sw := cmplxmat.NewWorkspace()
+		want, wantErr := j.Plan.EvaluateOptsWS(sw, j.TrueCS, j.EstCS, j.Opts)
+		if (j.Err == nil) != (wantErr == nil) {
+			t.Fatalf("job %d: error behavior diverged: batch=%v scalar=%v", i, j.Err, wantErr)
+		}
+		if wantErr != nil {
+			if j.Err.Error() != wantErr.Error() {
+				t.Fatalf("job %d: error text diverged: batch=%q scalar=%q", i, j.Err, wantErr)
+			}
+			continue
+		}
+		if math.Float64bits(j.Ev.SumRate) != math.Float64bits(want.SumRate) {
+			t.Fatalf("job %d: SumRate diverged: batch=%v scalar=%v", i, j.Ev.SumRate, want.SumRate)
+		}
+		if !evalBitEqualF(j.Ev.SINR, want.SINR) {
+			t.Fatalf("job %d: SINR diverged:\n batch=%v\n scalar=%v", i, j.Ev.SINR, want.SINR)
+		}
+		if !evalBitEqualF(j.Ev.PacketRate, want.PacketRate) {
+			t.Fatalf("job %d: PacketRate diverged", i)
+		}
+		if len(j.Ev.Decoding) != len(want.Decoding) {
+			t.Fatalf("job %d: decoding vector count diverged", i)
+		}
+		for p := range want.Decoding {
+			if !evalBitEqualV(j.Ev.Decoding[p], want.Decoding[p]) {
+				t.Fatalf("job %d packet %d: decoding vector diverged", i, p)
+			}
+		}
+	}
+}
+
+// TestEvaluateJobsWSEmpty pins the trivial edges: no jobs, and a batch
+// reused across workspace resets.
+func TestEvaluateJobsWSEmpty(t *testing.T) {
+	ws := cmplxmat.NewWorkspace()
+	if n := EvaluateJobsWS(ws, nil); n != 0 {
+		t.Fatalf("empty batch reported %d products", n)
+	}
+}

@@ -1,0 +1,109 @@
+// Package ring provides a bounded single-producer single-consumer
+// queue for the simulator's pipelined campus runner. Each pipeline
+// worker owns the producer side of one ring and the merge stage owns
+// the consumer side of all of them, so every slot needs exactly one
+// producer and one consumer — the shape where a lock-free ring beats a
+// mutex-guarded channel and, more importantly here, where backpressure
+// and stalls are directly observable.
+//
+// The implementation is a classic power-of-two ring over two atomic
+// cursors. The producer writes buf[tail&mask] and then publishes by
+// advancing tail; the consumer reads tail to learn what is published,
+// reads buf[head&mask], and releases the slot by advancing head. Go's
+// sync/atomic operations are sequentially consistent, so the element
+// write always happens-before the cursor publish that makes it
+// visible.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SPSC is a bounded single-producer single-consumer ring. The zero
+// value is not usable; construct with New. Exactly one goroutine may
+// call Push and exactly one may call Pop/TryPop; Len and Stalls are
+// safe from anywhere.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	// The cursors sit on separate cache lines so the producer's tail
+	// stores do not false-share with the consumer's head stores.
+	_    [64]byte
+	head atomic.Uint64 // next slot the consumer will read
+	_    [64]byte
+	tail atomic.Uint64 // next slot the producer will write
+	_    [64]byte
+
+	pushStalls atomic.Uint64 // Push found the ring full and yielded
+	popStalls  atomic.Uint64 // Pop found the ring empty and yielded
+}
+
+// New returns a ring holding at least capacity elements (rounded up to
+// the next power of two, minimum 2).
+func New[T any](capacity int) *SPSC[T] {
+	n := uint64(2)
+	for int(n) < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}
+}
+
+// Cap reports the ring's slot count.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len reports how many elements are currently queued. It is a racy
+// snapshot when producer and consumer are live — good enough for the
+// depth gauge it feeds.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push appends v, spinning (with a scheduler yield per failed attempt,
+// counted as a push stall) while the ring is full. Only the producer
+// goroutine may call it.
+func (r *SPSC[T]) Push(v T) {
+	t := r.tail.Load()
+	for t-r.head.Load() >= uint64(len(r.buf)) {
+		r.pushStalls.Add(1)
+		runtime.Gosched()
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+}
+
+// TryPop removes and returns the oldest element, or reports false if
+// the ring is empty. Only the consumer goroutine may call it.
+func (r *SPSC[T]) TryPop() (T, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		var zero T
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero // release references for GC
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// Pop removes and returns the oldest element, spinning (with a
+// scheduler yield per failed attempt, counted as a pop stall) while
+// the ring is empty. Only the consumer goroutine may call it.
+func (r *SPSC[T]) Pop() T {
+	for {
+		if v, ok := r.TryPop(); ok {
+			return v
+		}
+		r.popStalls.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// Stalls reports how many times Push yielded on a full ring and
+// Pop/TryPop's blocking form yielded on an empty one — the pipeline's
+// backpressure signal.
+func (r *SPSC[T]) Stalls() (push, pop uint64) {
+	return r.pushStalls.Load(), r.popStalls.Load()
+}

@@ -129,6 +129,11 @@ type engine struct {
 	lostPackets int
 	retrains    int
 	retrainCost int
+	// batchSketch locally distributes the batched slot planner's
+	// per-plan dispatch sizes (SlotOutcome.Batched); merged into the
+	// registry's sim_batch_products distribution at trial end, so the
+	// hot path touches no shared state. Untouched when met is nil.
+	batchSketch stats.Sketch
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -610,6 +615,9 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	if err != nil {
 		return groupOutcome{}
 	}
+	if e.met != nil && res.Batched > 0 {
+		e.batchSketch.Add(float64(res.Batched))
+	}
 	per := make(map[int]float64, len(res.PerClient))
 	for local, rate := range res.PerClient {
 		per[idx[local]] += rate
@@ -731,6 +739,7 @@ func (e *engine) result() TrialResult {
 			m.timersCascaded.Add(ws.Cascaded)
 		}
 		m.latency.Merge(pooled)
+		m.batchProducts.Merge(&e.batchSketch)
 	}
 	e.emit(Event{Kind: EventTrialDone, Cycle: e.cfg.Cycles, Slot: slots,
 		Value: tr.SumThroughputBitsPerSlot})

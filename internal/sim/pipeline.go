@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iaclan/internal/obs"
+	"iaclan/internal/phy"
+	"iaclan/internal/ring"
+)
+
+// Pipelined campus runner (Config.Pipeline). The sharded reference
+// runner treats every (cell, trial) pair as an independent closure over
+// a work channel: each job borrows a workspace from the process pool,
+// runs to completion, returns the workspace, and writes its result slot
+// directly. The pipeline restructures the same work as two explicit
+// stages connected by bounded SPSC rings:
+//
+//	workers (N) --- one ring each ---> merge (1)
+//
+// Each worker pins one workspace arena for its whole lifetime and
+// recycles it in place between trials — no sync.Pool round-trips in
+// steady state, so a long campus sweep touches the pool exactly N
+// times. Workers claim jobs off an atomic cursor and push finished
+// trials into their own ring; the single merge goroutine drains all
+// rings, scatters results into the (cell, trial)-indexed grid, and
+// publishes per-cell wrap-ups as cells complete.
+//
+// Determinism: results are bit-identical to the sharded runner (and to
+// a serial run) by construction. Every trial owns its world, RNG, MAC,
+// and caches; the workspace arena zeroes allocations on reuse; and each
+// result lands in a slot indexed by (cell, trial), so neither the job
+// claim order nor the ring arrival order can influence any value. The
+// only ordered side effects — per-cell completion gauges and trace
+// events — fire off a per-cell countdown exactly as in the sharded
+// runner, just from the merge stage instead of an arbitrary worker.
+// TestPipelineMatchesSharded pins the equivalence.
+
+// pipelineRingCap bounds each worker->merge ring. Trials are
+// milliseconds of work against a merge step of nanoseconds, so the
+// merge never meaningfully lags; a small ring keeps finished
+// TrialResults from piling up if it ever does, surfacing the
+// backpressure as push stalls instead of unbounded memory.
+const pipelineRingCap = 8
+
+// trialItem is one finished (cell, trial) unit flowing worker -> merge.
+type trialItem struct {
+	cell, trial int
+	res         TrialResult
+	err         error
+}
+
+// pipelineMetrics holds the pipeline's resolved registry handles, nil
+// without a registry (then the runner takes no clock readings at all).
+type pipelineMetrics struct {
+	pushStalls *obs.Counter
+	popStalls  *obs.Counter
+	workerBusy *obs.Counter
+	mergeBusy  *obs.Counter
+}
+
+// newPipelineMetrics resolves the pipeline counters and registers the
+// live aggregate ring-depth gauge over this run's rings.
+func newPipelineMetrics(reg *obs.Registry, rings []*ring.SPSC[trialItem]) *pipelineMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.GaugeFunc(metricPipelineRingDepth, func() float64 {
+		d := 0
+		for _, r := range rings {
+			d += r.Len()
+		}
+		return float64(d)
+	})
+	return &pipelineMetrics{
+		pushStalls: reg.Counter(metricPipelinePushStalls),
+		popStalls:  reg.Counter(metricPipelinePopStalls),
+		workerBusy: reg.Counter(metricPipelineWorkerBusy),
+		mergeBusy:  reg.Counter(metricPipelineMergeBusy),
+	}
+}
+
+// runPinned is the pipeline worker's trial entry point: exactly Run,
+// except the workspace is the worker's pinned arena instead of a pool
+// round-trip. Bit-identical because the arena zeroes allocations on
+// reuse — the same guarantee the pool path already relies on.
+func runPinned(cfg Config, ws *phy.Workspace) (TrialResult, error) {
+	cfg, err := cfg.prepare()
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if cfg.Cells.enabled() {
+		return TrialResult{}, fmt.Errorf("sim: Cells.Count %d is a multi-cell campus; use RunCampus", cfg.Cells.Count)
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	e.ws = ws
+	for c := 0; c < cfg.Cycles; c++ {
+		e.cycle(c)
+	}
+	return e.result(), nil
+}
+
+// runCampusPipeline runs the campus job grid through the two-stage
+// pipeline, filling results and errs in their (cell, trial) slots.
+func runCampusPipeline(cfg Config, cellCfgs []Config, results [][]TrialResult, errs [][]error, remaining []atomic.Int64, workers int) {
+	trials := cfg.Trials
+	n := len(cellCfgs) * trials
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rings := make([]*ring.SPSC[trialItem], workers)
+	for i := range rings {
+		rings[i] = ring.New[trialItem](pipelineRingCap)
+	}
+	met := newPipelineMetrics(cfg.Obs, rings)
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(r *ring.SPSC[trialItem]) {
+			defer wg.Done()
+			ws := phy.GetWorkspace()
+			defer phy.PutWorkspace(ws)
+			var busy time.Duration
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= n {
+					break
+				}
+				cell, trial := j/trials, j%trials
+				c := cellCfgs[cell]
+				c.Seed += int64(trial)
+				c.cell, c.trial = cell, trial
+				var start time.Time
+				if met != nil {
+					start = time.Now()
+				}
+				res, err := runPinned(c, ws)
+				ws.Recycle()
+				if met != nil {
+					busy += time.Since(start)
+				}
+				r.Push(trialItem{cell: cell, trial: trial, res: res, err: err})
+			}
+			if met != nil {
+				met.workerBusy.Add(uint64(busy))
+			}
+		}(rings[w])
+	}
+
+	// Merge: the single consumer of every ring. It knows exactly how
+	// many items are coming, so the rings need no close protocol — it
+	// drains round-robin until the count is met, yielding (counted as a
+	// pop stall) whenever every ring comes up empty.
+	var mergeBusy time.Duration
+	var idleYields uint64
+	for got := 0; got < n; {
+		progressed := false
+		for _, r := range rings {
+			it, ok := r.TryPop()
+			if !ok {
+				continue
+			}
+			progressed = true
+			got++
+			var start time.Time
+			if met != nil {
+				start = time.Now()
+			}
+			results[it.cell][it.trial] = it.res
+			errs[it.cell][it.trial] = it.err
+			if remaining[it.cell].Add(-1) == 0 {
+				campusCellDone(cfg, it.cell, results[it.cell])
+			}
+			if met != nil {
+				mergeBusy += time.Since(start)
+			}
+		}
+		if !progressed {
+			idleYields++
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+
+	if met != nil {
+		met.mergeBusy.Add(uint64(mergeBusy))
+		var push uint64
+		for _, r := range rings {
+			p, _ := r.Stalls()
+			push += p
+		}
+		met.pushStalls.Add(push)
+		met.popStalls.Add(idleYields)
+	}
+}

@@ -1,0 +1,187 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iaclan/internal/channel"
+	"iaclan/internal/core"
+	"iaclan/internal/mimo"
+	"iaclan/internal/phy"
+)
+
+// antennaScenario builds a scenario from a world with the given
+// per-node antenna count, so the equivalence sweep covers chain
+// constructions beyond the paper's 2-antenna testbed.
+func antennaScenario(seed int64, clients, aps, antennas int) Scenario {
+	p := channel.DefaultParams()
+	p.Antennas = antennas
+	w := channel.NewTestbed(p, seed, clients+aps+14, 12)
+	return PickScenario(w, clients, aps)
+}
+
+// TestBatchedSlotRunnerMatchesScalar pins the batched slot planner
+// bitwise against the scalar reference across every supported slot
+// shape — uplink three, N-AP chains at M = 2..4, downlink triangle and
+// diversity — crossed with the link-plane variants (residual-cancel
+// leakage, the discrete MCS table) and both channel paths (fresh
+// per-slot training and the epoch cache). Identically seeded runs must
+// produce identical outcomes AND identical RNG streams afterwards; any
+// re-ordered or extra draw in the batched search would desynchronize
+// every later slot of a trial.
+func TestBatchedSlotRunnerMatchesScalar(t *testing.T) {
+	chainClients := func(m int) int { return core.UplinkChainAssignment{M: m}.NumClients() }
+	shapes := []struct {
+		name         string
+		clients, aps int
+		antennas     int
+		downlink     bool
+		role         int
+	}{
+		{"uplink-three", 2, 2, 2, false, 1},
+		{"uplink-chain-3ap", chainClients(2), 3, 2, false, 0},
+		{"uplink-chain-5ap", chainClients(2), 5, 2, false, 2},
+		{"uplink-chain-m3", chainClients(3), core.UplinkAPsNeeded(3), 3, false, 0},
+		{"uplink-chain-m4", chainClients(4), core.UplinkAPsNeeded(4), 4, false, 0},
+		{"downlink-triangle", 3, 3, 2, true, 0},
+		{"downlink-diversity", 1, 2, 2, true, 0},
+	}
+	envs := []struct {
+		name string
+		env  Env
+	}{
+		{"default", Env{}},
+		{"residual", Env{ResidualCancel: true}},
+		{"mcs", Env{MCS: mimo.DefaultRateTable()}},
+		{"mcs-residual", Env{ResidualCancel: true, MCS: mimo.DefaultRateTable()}},
+	}
+	for _, sh := range shapes {
+		for _, ec := range envs {
+			for _, cached := range []bool{false, true} {
+				name := sh.name + "/" + ec.name
+				if cached {
+					name += "/cached"
+				}
+				t.Run(name, func(t *testing.T) {
+					s := antennaScenario(21, sh.clients, sh.aps, sh.antennas)
+					s.Env = ec.env
+					seed := int64(91)
+
+					run := func(batched bool) (SlotOutcome, error, int64) {
+						ws := phy.GetWorkspace()
+						defer phy.PutWorkspace(ws)
+						var cache *SlotCache
+						if cached {
+							cache = NewSlotCache(s)
+							cache.TrackPlannedRates(true)
+						}
+						rng := rand.New(rand.NewSource(seed))
+						var out SlotOutcome
+						var err error
+						switch {
+						case batched && sh.downlink:
+							out, err = RunDownlinkSlotWS(ws, cache, s, rng)
+						case batched:
+							out, err = RunUplinkSlotWS(ws, cache, s, sh.role, rng)
+						case sh.downlink:
+							out, err = runDownlinkSlotScalarWS(ws, cache, s, rng)
+						default:
+							out, err = runUplinkSlotScalarWS(ws, cache, s, sh.role, rng)
+						}
+						// The post-run draw witnesses the RNG stream position.
+						return out, err, rng.Int63()
+					}
+
+					want, wantErr, wantDraw := run(false)
+					got, gotErr, gotDraw := run(true)
+
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("error behavior diverged: batched=%v scalar=%v", gotErr, wantErr)
+					}
+					if gotDraw != wantDraw {
+						t.Fatal("RNG stream diverged: batched planner drew differently than the scalar path")
+					}
+					if wantErr != nil {
+						if gotErr.Error() != wantErr.Error() {
+							t.Fatalf("error text diverged: batched=%q scalar=%q", gotErr, wantErr)
+						}
+						return
+					}
+					if got.Batched <= 0 {
+						t.Fatal("batched path reported no batched products")
+					}
+					got.Batched = 0 // scalar reference reports none
+					if math.Float64bits(got.SumRate) != math.Float64bits(want.SumRate) {
+						t.Fatalf("SumRate diverged: batched=%v scalar=%v", got.SumRate, want.SumRate)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("outcome diverged:\n batched=%+v\n scalar=%+v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPlanSlotsMultiRequest pins the cross-request contract: a batch of
+// several slots produces exactly what the same slots run back-to-back
+// through the single-slot runners produce, because gathers and solves
+// stay in request order while only the (RNG-free) scoring is deferred.
+func TestPlanSlotsMultiRequest(t *testing.T) {
+	up := antennaScenario(33, 2, 2, 2)
+	chain := antennaScenario(34, 3, 3, 2)
+	down := antennaScenario(35, 3, 3, 2)
+	down.Env = Env{ResidualCancel: true}
+	reqs := []SlotRequest{
+		{S: up, Role: 0},
+		{S: chain, Role: 1},
+		{S: down, Downlink: true},
+		{S: up, Role: 7}, // out-of-range role: per-slot error, no RNG draw
+	}
+
+	ws := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws)
+	rng := rand.New(rand.NewSource(5))
+	slots, planned := PlanSlots(ws, nil, reqs, rng)
+	outs, errs, evaled := EvaluateSlots(ws, slots)
+	if planned <= 0 || evaled <= 0 {
+		t.Fatalf("batch dispatched %d planning / %d final products", planned, evaled)
+	}
+	batchDraw := rng.Int63()
+
+	ws2 := phy.GetWorkspace()
+	defer phy.PutWorkspace(ws2)
+	rng2 := rand.New(rand.NewSource(5))
+	var wantOuts []SlotOutcome
+	var wantErrs []error
+	for _, req := range reqs {
+		var out SlotOutcome
+		var err error
+		if req.Downlink {
+			out, err = RunDownlinkSlotWS(ws2, nil, req.S, rng2)
+		} else {
+			out, err = RunUplinkSlotWS(ws2, nil, req.S, req.Role, rng2)
+		}
+		wantOuts = append(wantOuts, out)
+		wantErrs = append(wantErrs, err)
+	}
+	if d := rng2.Int63(); d != batchDraw {
+		t.Fatal("RNG stream diverged between batch and back-to-back runs")
+	}
+	for i := range reqs {
+		if (errs[i] == nil) != (wantErrs[i] == nil) {
+			t.Fatalf("slot %d error behavior diverged: batch=%v serial=%v", i, errs[i], wantErrs[i])
+		}
+		if errs[i] != nil {
+			if errs[i].Error() != wantErrs[i].Error() {
+				t.Fatalf("slot %d error text diverged", i)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(outs[i], wantOuts[i]) {
+			t.Fatalf("slot %d outcome diverged:\n batch=%+v\n serial=%+v", i, outs[i], wantOuts[i])
+		}
+	}
+}

@@ -25,6 +25,12 @@ type SlotOutcome struct {
 	PlannedPerClient map[int]float64
 	// Plan is the IAC plan that produced the outcome.
 	Plan *core.Plan
+	// Batched is how many direction products the batched planner
+	// gathered into strided kernel dispatches producing this outcome —
+	// candidate scorings plus the final evaluation. Zero from the scalar
+	// reference path. The observability plane distributes it as the
+	// batch size.
+	Batched int
 }
 
 // RunUplinkSlot plans and evaluates one IAC uplink slot for the scenario.
@@ -46,7 +52,18 @@ func RunUplinkSlot(s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, 
 // optional channel memo. A nil cache draws fresh channel estimates for
 // the slot (the paper's per-slot training); a non-nil cache reuses the
 // epoch's per-pair estimates and skips re-deriving channel matrices.
+// Planning runs through the batched slot planner (PlanSlots +
+// EvaluateSlots), bitwise-identical to the scalar reference below.
 func RunUplinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, error) {
+	slots, _ := PlanSlots(ws, cache, []SlotRequest{{S: s, Role: twoPacketRole}}, rng)
+	outs, errs, _ := EvaluateSlots(ws, slots)
+	return outs[0], errs[0]
+}
+
+// runUplinkSlotScalarWS is the historical one-evaluation-at-a-time slot
+// runner, kept verbatim as the differential reference the batched
+// planner's equivalence tests pin against.
+func runUplinkSlotScalarWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoPacketRole int, rng *rand.Rand) (SlotOutcome, error) {
 	nc, na := len(s.Clients), len(s.APs)
 	if twoPacketRole < 0 || twoPacketRole >= nc {
 		return SlotOutcome{}, fmt.Errorf("testbed: role %d out of range", twoPacketRole)
@@ -268,8 +285,18 @@ func RunDownlinkSlot(s Scenario, rng *rand.Rand) (SlotOutcome, error) {
 }
 
 // RunDownlinkSlotWS is RunDownlinkSlot with an explicit workspace and an
-// optional channel memo (see RunUplinkSlotWS).
+// optional channel memo (see RunUplinkSlotWS). Planning runs through
+// the batched slot planner, bitwise-identical to the scalar reference
+// below.
 func RunDownlinkSlotWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *rand.Rand) (SlotOutcome, error) {
+	slots, _ := PlanSlots(ws, cache, []SlotRequest{{S: s, Downlink: true}}, rng)
+	outs, errs, _ := EvaluateSlots(ws, slots)
+	return outs[0], errs[0]
+}
+
+// runDownlinkSlotScalarWS is the historical scalar downlink runner,
+// kept verbatim as the batched planner's differential reference.
+func runDownlinkSlotScalarWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rng *rand.Rand) (SlotOutcome, error) {
 	nc, na := len(s.Clients), len(s.APs)
 	var baseTrue, baseEst core.ChannelSet
 	if cache == nil {
