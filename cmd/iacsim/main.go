@@ -11,6 +11,7 @@
 //	iacsim -dir down -workload saturated -picker brute-force
 //	iacsim -workload saturated -eps 0.35 -retrain 8 -mobility -compare
 //	iacsim -workload saturated -noise-db 12 -residual -mcs -compare
+//	iacsim -workload streaming -load 0.1 -chunk 30 -transport -noise-db 6 -mcs -residual
 //	iacsim -aps 4 -cells 4 -leak 0.15 -workload saturated -mcs
 //	iacsim -cells 4 -trials 8 -status-addr localhost:8080   # live metrics at /status
 //	iacsim -cells 4 -trials 16 -pipeline -pprof-addr localhost:6060   # pipelined runner + profiles
@@ -37,14 +38,24 @@ func main() {
 		cycles   = flag.Int("cycles", 1000, "CFP cycles to simulate")
 		group    = flag.Int("group", 3, "transmission group size (1 = TDMA baseline)")
 		picker   = flag.String("picker", "best-of-two", "concurrency algorithm: fifo, best-of-two, brute-force")
-		workload = flag.String("workload", "poisson", "traffic model: saturated, cbr, poisson, bursty")
+		workload = flag.String("workload", "poisson", "traffic model: saturated, cbr, poisson, bursty, streaming")
 		load     = flag.Float64("load", 0.1, "offered load per client in packets/slot")
 		duty     = flag.Float64("duty", 0.2, "bursty on-fraction")
 		burst    = flag.Float64("burst", 20, "bursty mean on-period in slots")
-		trials   = flag.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
-		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all cores)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		compare  = flag.Bool("compare", false, "also run the TDMA-style GroupSize=1 baseline and report the gain")
+
+		chunk         = flag.Float64("chunk", 0, "streaming chunk period in slots (0 = default)")
+		startupChunks = flag.Int("startup-chunks", 0, "streaming chunks buffered before playback starts (0 = default)")
+		sleepFrac     = flag.Float64("sleep-frac", 0, "streaming radio sleep power as a fraction of awake (0 = default)")
+
+		transport = flag.Bool("transport", false, "closed-loop transport: AIMD windows clocked off the beacon, RTO retransmits of MAC-dropped packets")
+		window    = flag.Int("window", 0, "transport initial congestion window in packets (0 = default)")
+		rto       = flag.Int("rto", 0, "transport retransmission timeout in CFP cycles (0 = default)")
+		retx      = flag.Int("retx", 0, "transport max retransmissions per packet (0 = default)")
+		stripes   = flag.Int("stripes", 0, "rotate the uplink chain's AP anchor across this many APs (0/1 = off)")
+		trials    = flag.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = all cores)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		compare   = flag.Bool("compare", false, "also run the TDMA-style GroupSize=1 baseline and report the gain")
 
 		eps        = flag.Float64("eps", 0, "block-fading innovation per coherence interval in [0,1] (0 = static channel)")
 		coherence  = flag.Int("coherence", 1, "coherence interval in CFP cycles")
@@ -84,6 +95,20 @@ func main() {
 		PacketsPerSlot: *load,
 		Duty:           *duty,
 		MeanBurstSlots: *burst,
+		ChunkSlots:     *chunk,
+		StartupChunks:  *startupChunks,
+		SleepFraction:  *sleepFrac,
+	}
+	if *transport {
+		cfg.Transport = iaclan.SimTransport{
+			Enabled:        true,
+			Window:         *window,
+			RTOCycles:      *rto,
+			MaxRetransmits: *retx,
+			Stripes:        *stripes,
+		}
+	} else if *window != 0 || *rto != 0 || *retx != 0 || *stripes != 0 {
+		log.Fatal("iacsim: -window/-rto/-retx/-stripes need -transport")
 	}
 	cfg.Trials = *trials
 	cfg.Workers = *workers
@@ -157,6 +182,10 @@ func main() {
 	if *noiseDB != 0 || *residual || *mcs {
 		fmt.Printf("link plane: noise %+.3g dB, residual cancellation %v, discrete MCS %v\n",
 			*noiseDB, *residual, *mcs)
+	}
+	if *transport {
+		fmt.Printf("transport: AIMD windows + RTO retransmits (window %d, rto %d cycles, retx %d, stripes %d; 0 = engine default)\n",
+			*window, *rto, *retx, *stripes)
 	}
 	if *cells > 1 {
 		fmt.Printf("campus: %d cells x (%d clients, %d APs), leakage %.2g per neighbour\n",

@@ -177,6 +177,62 @@ func TestPaperConformanceScaleUp(t *testing.T) {
 	}
 }
 
+// TestPaperConformanceStream pins the application-level story of the
+// stream experiment: streaming over the closed-loop transport, IAC's
+// concurrent slots carry a chunk load the TDMA baseline cannot sustain.
+// Asserted shape: rebuffer rate is (weakly) non-decreasing in noise for
+// both schemes, noise strictly costs IAC playback by the harsh end, and
+// at the clean end IAC's goodput at least matches the baseline while
+// rebuffering and energy per delivered bit do not exceed it.
+func TestPaperConformanceStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 conformance suite; skipped with -short")
+	}
+	// Reduced scale: the assertions are about ordering between schemes
+	// and across operating points, not absolute numbers.
+	cfg := ExperimentConfig{Seed: 1, Trials: 8, Slots: 800, Runs: 2}
+	r, err := RunExperiment("stream", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := r.Series["noise_db"]
+	for _, scheme := range []string{"iac", "tdma"} {
+		rates := r.Series["rebuffer_rate_"+scheme]
+		if len(rates) < 3 || len(rates) != len(noise) {
+			t.Fatalf("malformed stream series: %d %s rebuffer points for %d noise points",
+				len(rates), scheme, len(noise))
+		}
+		for i := 1; i < len(rates); i++ {
+			// Weakly non-decreasing, with slack for discrete-MCS rung
+			// plateaus (a lower selected rung can briefly mean fewer
+			// outages as noise rises).
+			if rates[i] < rates[i-1]*0.9-1e-3 {
+				t.Errorf("%s rebuffer rate fell from %.4f to %.4f between %g and %g dB",
+					scheme, rates[i-1], rates[i], noise[i-1], noise[i])
+			}
+		}
+	}
+	iacRates := r.Series["rebuffer_rate_iac"]
+	if last, first := iacRates[len(iacRates)-1], iacRates[0]; last <= first {
+		t.Errorf("noise did not cost IAC playback: rebuffer rate %.4f at %g dB vs %.4f at %g dB",
+			last, noise[len(noise)-1], first, noise[0])
+	}
+	low := fmt.Sprintf("_db%g", noise[0])
+	if gi, gt := r.Metrics["goodput_iac"+low], r.Metrics["goodput_tdma"+low]; gi < gt {
+		t.Errorf("IAC goodput %.1f below baseline %.1f at the clean operating point", gi, gt)
+	}
+	if ri, rt := r.Metrics["rebuffer_rate_iac"+low], r.Metrics["rebuffer_rate_tdma"+low]; ri > rt {
+		t.Errorf("IAC rebuffer rate %.4f above baseline %.4f at the clean operating point", ri, rt)
+	}
+	ei, et := r.Metrics["energy_per_bit_iac"+low], r.Metrics["energy_per_bit_tdma"+low]
+	if ei <= 0 || et <= 0 {
+		t.Fatalf("energy per bit not accounted: iac %v, tdma %v", ei, et)
+	}
+	if ei > et {
+		t.Errorf("IAC energy per bit %.3g above baseline %.3g at the clean operating point", ei, et)
+	}
+}
+
 // TestPaperConformanceSNRTrend pins the Section 8 operating-point
 // story the snrsweep experiment reproduces: the IAC/TDMA gain ratio
 // decreases monotonically as the configured SNR drops, and the

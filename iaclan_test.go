@@ -149,7 +149,7 @@ func TestValidationErrors(t *testing.T) {
 
 func TestExperimentsRegistryAndRun(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("experiments %v", ids)
 	}
 	cfg := DefaultExperimentConfig()

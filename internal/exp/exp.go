@@ -108,6 +108,7 @@ func Registry() []struct {
 		{"coherence", CoherenceSweep},
 		{"snrsweep", SNRSweep},
 		{"scaleup", ScaleUp},
+		{"stream", Stream},
 	}
 }
 

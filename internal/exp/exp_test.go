@@ -10,6 +10,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"fig12", "fig13a", "fig13b", "fig14", "fig15a", "fig15b",
 		"fig16", "lemma51", "lemma52", "freqoffset", "overhead", "ethernet",
 		"ofdm", "adhoc", "loadsweep", "coherence", "snrsweep", "scaleup",
+		"stream",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

@@ -100,6 +100,61 @@ func TestRetryKeepsBornAcrossRetrainCharge(t *testing.T) {
 	}
 }
 
+// TestTransportRetransmitKeepsBornAcrossRetrainCharge covers the
+// transport layer's retry path: with the MAC's own retry budget
+// exhausted (MaxRetries 0) the loss surfaces as PacketDropped, and the
+// transport re-injects the packet later — after its RTO, here with a
+// re-training round charged in between — via EnqueueBorn with the
+// original born slot. The delivered latency must span the first
+// attempt, the backoff wait, and the charged retrain airtime.
+func TestTransportRetransmitKeepsBornAcrossRetrainCharge(t *testing.T) {
+	loseFirst := 1
+	runner := func(group []ClientID) SlotResult {
+		res := SlotResult{Rate: make([]float64, len(group)), Lost: make([]bool, len(group))}
+		for i := range group {
+			if loseFirst > 0 {
+				loseFirst--
+				res.Lost[i] = true
+				continue
+			}
+			res.Rate[i] = 2.0
+		}
+		return res
+	}
+	sim := NewSimulator(Config{GroupSize: 1, CPSlots: 2, MaxRetries: 0}, FIFOPicker{}, constRate, runner)
+	tr := &recordingTracer{}
+	sim.SetTracer(tr)
+
+	sim.EnqueueBorn(9, 0)
+	sim.RunCFP() // slot 1: lost; MaxRetries 0 makes it a final MAC drop
+	if len(tr.events) != 1 || !tr.events[0].dropped {
+		t.Fatalf("want one drop event, got %+v", tr.events)
+	}
+	if tr.events[0].born != 0 || tr.events[0].now != 1 {
+		t.Fatalf("drop event %+v, want born 0 now 1", tr.events[0])
+	}
+
+	// The transport's RTO elapses while a re-training round is charged;
+	// the retransmit re-enters the MAC deque with its original born.
+	sim.ChargeSlots(6)
+	sim.EnqueueBorn(9, 0)
+	sim.RunCFP()
+	if len(tr.events) != 2 {
+		t.Fatalf("events %+v", tr.events)
+	}
+	ev := tr.events[1]
+	if ev.dropped || ev.client != 9 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	if ev.born != 0 {
+		t.Fatalf("retransmit lost its born slot across the charge: born %d", ev.born)
+	}
+	// 1 CFP slot + 2 CP + 6 charged retrain + 1 retry service slot.
+	if got := ev.now - ev.born; got != 10 {
+		t.Fatalf("latency %d slots, want 10 (charged retrain counts)", got)
+	}
+}
+
 func TestChargeSlotsZeroIsNoOp(t *testing.T) {
 	sim := NewSimulator(Config{GroupSize: 1, CPSlots: 1}, FIFOPicker{}, constRate, okRunner)
 	sim.ChargeSlots(0)

@@ -162,15 +162,38 @@ func UnmarshalPollFrame(b []byte) (PollFrame, error) {
 	return p, nil
 }
 
+// ClampCFPDuration saturates a CFP length in slots into the beacon's
+// 16-bit duration field: values outside [0, 65535] clamp to the nearest
+// bound instead of silently truncating (65536 slots must not announce
+// as 0 on the wire). The 65536-client-per-cell cap means a GroupSize-1
+// CFP can legally hit 65536 slots — one past the field's range — so the
+// clamp is reachable; RunCFP counts clamped beacons in WireClamps.
+func ClampCFPDuration(slots int) uint16 {
+	if slots < 0 {
+		return 0
+	}
+	if slots > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(slots)
+}
+
 // Marshal encodes a beacon: type(1) dur(2) ackLen(2) ackMap crc(4).
-func (b Beacon) Marshal() []byte {
+// The ack map must fit the 2-byte length field; longer maps error
+// instead of truncating into a frame that misparses. (The remaining
+// uint16 casts in this file are audited: PollFrame.Marshal guards its
+// entry count explicitly, and ClientID is already a uint16.)
+func (b Beacon) Marshal() ([]byte, error) {
+	if len(b.AckMap) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d-byte ack map exceeds the 2-byte length field", ErrBadFrame, len(b.AckMap))
+	}
 	buf := make([]byte, 0, 9+len(b.AckMap))
 	buf = append(buf, byte(FrameBeacon))
 	buf = binary.BigEndian.AppendUint16(buf, b.CFPDurationSlots)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(b.AckMap)))
 	buf = append(buf, b.AckMap...)
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	return buf
+	return buf, nil
 }
 
 // UnmarshalBeacon decodes and verifies a beacon frame.

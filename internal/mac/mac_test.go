@@ -89,7 +89,11 @@ func TestPollFrameValidation(t *testing.T) {
 
 func TestBeaconRoundTrip(t *testing.T) {
 	b := Beacon{CFPDurationSlots: 17, AckMap: []byte{0b10110001, 0x01}}
-	got, err := UnmarshalBeacon(b.Marshal())
+	raw, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBeacon(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,17 +101,25 @@ func TestBeaconRoundTrip(t *testing.T) {
 		t.Fatalf("%+v", got)
 	}
 	// Empty ack map.
-	if _, err := UnmarshalBeacon((Beacon{}).Marshal()); err != nil {
+	rawEmpty, err := (Beacon{}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBeacon(rawEmpty); err != nil {
 		t.Fatal(err)
 	}
 	// Corruption.
-	raw := b.Marshal()
 	raw[1] ^= 0x80
 	if _, err := UnmarshalBeacon(raw); err == nil {
 		t.Fatal("beacon corruption not detected")
 	}
 	if _, err := UnmarshalBeacon([]byte{1, 2}); err == nil {
 		t.Fatal("short beacon not detected")
+	}
+	// An ack map beyond the 2-byte length field must error, not truncate.
+	huge := Beacon{AckMap: make([]byte, math.MaxUint16+1)}
+	if _, err := huge.Marshal(); err == nil {
+		t.Fatal("oversized ack map not rejected")
 	}
 }
 
@@ -116,7 +128,11 @@ func TestQuickBeaconRoundTrip(t *testing.T) {
 		if len(ack) > 60000 {
 			ack = ack[:60000]
 		}
-		got, err := UnmarshalBeacon(Beacon{CFPDurationSlots: dur, AckMap: ack}.Marshal())
+		raw, err := Beacon{CFPDurationSlots: dur, AckMap: ack}.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalBeacon(raw)
 		if err != nil || got.CFPDurationSlots != dur || len(got.AckMap) != len(ack) {
 			return false
 		}

@@ -90,10 +90,11 @@ type Simulator struct {
 	// exactly the first-occurrence order a flat FIFO queue would yield.
 	seq uint64
 
-	stats   map[ClientID]*ClientStats
-	beacons int
-	slots   int
-	tracer  Tracer
+	stats      map[ClientID]*ClientStats
+	beacons    int
+	slots      int
+	wireClamps int
+	tracer     Tracer
 	// pendingAcks collects (client, success) outcomes of the current CFP
 	// for the next beacon's ack map.
 	pendingAcks []ackEntry
@@ -237,6 +238,12 @@ func (s *Simulator) Stats() map[ClientID]*ClientStats { return s.stats }
 // Beacons returns how many CFPs have run.
 func (s *Simulator) Beacons() int { return s.beacons }
 
+// WireClamps returns how many beacons announced a clamped CFP duration
+// because the true slot count outran the wire format's 16-bit field
+// (see ClampCFPDuration). Zero in any healthy configuration; a nonzero
+// count means on-air duration announcements under-report the CFP.
+func (s *Simulator) WireClamps() int { return s.wireClamps }
+
 // Slots returns the total transmission slots consumed, including the
 // constant contention period after each CFP — the airtime denominator
 // for throughput accounting.
@@ -321,7 +328,15 @@ func (s *Simulator) RunCFP() Beacon {
 		}
 		elig = kept
 	}
-	beacon.CFPDurationSlots = uint16(cfpSlots)
+	// The duration field is 16 bits on the wire; a CFP that outruns it
+	// (65536 single-client slots is legal at the per-cell population
+	// cap) announces the clamped maximum rather than a truncated —
+	// possibly zero — length. The airtime clock below keeps the true
+	// count either way.
+	beacon.CFPDurationSlots = ClampCFPDuration(cfpSlots)
+	if cfpSlots > int(beacon.CFPDurationSlots) {
+		s.wireClamps++
+	}
 	s.slots += cfpSlots + s.cfg.CPSlots
 	return beacon
 }

@@ -1,0 +1,283 @@
+package sim
+
+// appState is the streaming application plane: one on-demand video
+// session per client, modeled as a playback buffer fed by delivered
+// chunks and drained at the stream's nominal rate. It is fully lazy —
+// state advances only on packet events (arrival, delivery, trial end),
+// never by per-cycle scans, so an idle campus pays nothing for it.
+//
+// The radio-sleep model rides on the same events: a client is awake
+// exactly while it has queued-but-undelivered backlog (flow queue plus
+// packets inside the MAC), so the burst-shaped chunk schedule lets the
+// radio sleep through the inter-burst gaps; a retransmit backoff also
+// sleeps until its timer re-injects. Energy is counted in slot-units:
+// one unit per awake slot, SleepFraction units per asleep slot.
+type appState struct {
+	// rate is the stream's nominal consumption rate in packets/slot
+	// (the workload's offered rate — playback drains exactly what the
+	// source offers). startupPkts is the buffer level, in packets, at
+	// which playback starts (and resumes after a rebuffer).
+	rate        float64
+	startupPkts float64
+	sleepFrac   float64
+
+	// Per-client session state. firstOffer is the slot the first chunk
+	// packet was offered (-1 before any); last is the playback clock's
+	// last advance; buffer the buffered packets; stallStart the moment
+	// the current stall began (playback dry, not yet resumed);
+	// playStart the moment playback first started.
+	firstOffer []float64
+	last       []float64
+	buffer     []float64
+	stallStart []float64
+	playStart  []float64
+	started    []bool
+	playing    []bool
+
+	// Session tallies: startup delay, rebuffer event count, total
+	// stalled slots per client.
+	startup   []float64
+	rebuffers []int
+	stalled   []float64
+
+	// Radio-sleep state: awakeSince is the slot the current awake
+	// interval began (-1 while asleep), awake the accumulated awake
+	// slots.
+	awakeSince []int
+	awake      []int
+}
+
+func newAppState(w Workload) *appState {
+	return &appState{
+		// The player consumes at the source's *realized* rate — the
+		// rounded burst size over the chunk period, not the nominal
+		// PacketsPerSlot — so a loss-free channel sustains playback by
+		// construction and every rebuffer traces to delivery, not to a
+		// rounding mismatch between source and player.
+		rate:        float64(w.streamBurstPackets()) / w.streamChunkSlots(),
+		startupPkts: float64(w.streamStartupChunks() * w.streamBurstPackets()),
+		sleepFrac:   w.streamSleepFraction(),
+	}
+}
+
+// init sizes the per-client arrays for the trial's roster.
+func (a *appState) init(clients int) {
+	a.firstOffer = make([]float64, clients)
+	a.last = make([]float64, clients)
+	a.buffer = make([]float64, clients)
+	a.stallStart = make([]float64, clients)
+	a.playStart = make([]float64, clients)
+	a.started = make([]bool, clients)
+	a.playing = make([]bool, clients)
+	a.startup = make([]float64, clients)
+	a.rebuffers = make([]int, clients)
+	a.stalled = make([]float64, clients)
+	a.awakeSince = make([]int, clients)
+	a.awake = make([]int, clients)
+	for i := 0; i < clients; i++ {
+		a.firstOffer[i] = -1
+		a.awakeSince[i] = -1
+	}
+}
+
+// onArrival notes the session's first chunk offer; the startup clock
+// runs from here.
+func (a *appState) onArrival(i int, born float64) {
+	if a.firstOffer[i] < 0 {
+		a.firstOffer[i] = born
+	}
+}
+
+// wake opens an awake interval if the radio was asleep.
+func (a *appState) wake(i, slot int) {
+	if a.awakeSince[i] < 0 {
+		a.awakeSince[i] = slot
+	}
+}
+
+// sleep closes the current awake interval; the slot of the last
+// activity still counts as awake.
+func (a *appState) sleep(i, slot int) {
+	if a.awakeSince[i] >= 0 {
+		a.awake[i] += slot - a.awakeSince[i] + 1
+		a.awakeSince[i] = -1
+	}
+}
+
+// advance drains the playback buffer from the last event to now. If the
+// buffer runs dry mid-interval the stream stalls at the exact dry
+// instant (a rebuffer event) and waits for onDelivery to refill it past
+// the startup threshold. Returns true when this advance stalled.
+func (a *appState) advance(i int, now float64) bool {
+	if !a.playing[i] || now <= a.last[i] {
+		a.last[i] = now
+		return false
+	}
+	consumed := a.rate * (now - a.last[i])
+	if consumed >= a.buffer[i] {
+		dry := a.last[i] + a.buffer[i]/a.rate
+		a.buffer[i] = 0
+		a.playing[i] = false
+		a.rebuffers[i]++
+		a.stallStart[i] = dry
+		a.last[i] = now
+		return true
+	}
+	a.buffer[i] -= consumed
+	a.last[i] = now
+	return false
+}
+
+// onDelivery buffers one delivered chunk packet after advancing the
+// playback clock, starting (or resuming) playback once the buffer
+// clears the startup threshold. Returns true when the advance stalled —
+// the engine emits EventRebuffer on it.
+func (a *appState) onDelivery(i int, now float64) bool {
+	stalled := a.advance(i, now)
+	a.buffer[i]++
+	switch {
+	case !a.started[i]:
+		if a.buffer[i] >= a.startupPkts {
+			a.started[i] = true
+			a.playing[i] = true
+			a.startup[i] = now - a.firstOffer[i]
+			a.playStart[i] = now
+		}
+	case !a.playing[i]:
+		if a.buffer[i] >= a.startupPkts {
+			a.playing[i] = true
+			a.stalled[i] += now - a.stallStart[i]
+		}
+	}
+	return stalled
+}
+
+// StreamStats is one trial's streaming-session accounting; zero when no
+// streaming workload ran. Counters and slot tallies sum across trials
+// (and campus cells); the rates recompute from the summed numerators.
+type StreamStats struct {
+	// Enabled records whether the streaming plane ran.
+	Enabled bool
+	// Streams counts sessions that were offered at least one chunk;
+	// Started those whose playback began. StartupSlotsSum totals the
+	// started sessions' startup delays; MeanStartupSlots is its mean.
+	Streams          int
+	Started          int
+	StartupSlotsSum  float64
+	MeanStartupSlots float64
+	// RebufferEvents counts playback stalls; RebufferSlots the airtime
+	// spent stalled; StreamingSlots the post-start session airtime the
+	// stalls are measured against. RebufferRate is their ratio — the
+	// fraction of watch time spent rebuffering.
+	RebufferEvents int
+	RebufferSlots  float64
+	StreamingSlots float64
+	RebufferRate   float64
+	// AwakeSlots / SleepSlots split client-radio airtime; EnergyUnits
+	// is awake + SleepFraction*sleep in slot-units, and EnergyPerBit
+	// divides it by the delivered payload bits. GoodputBitsPerSlot is
+	// delivered payload bits per airtime slot.
+	AwakeSlots         float64
+	SleepSlots         float64
+	EnergyUnits        float64
+	EnergyPerBit       float64
+	GoodputBitsPerSlot float64
+}
+
+// finalize closes every open interval at the trial's end and freezes
+// the stream stats. delivered/bitsPerPacket feed the per-client
+// energy-per-bit samples into the met distribution (nil-safe), which is
+// where the sub-1e-2 sketch saturation path earns its keep.
+func (a *appState) finalize(slots int, delivered []int, bitsPerPacket float64, met *simMetrics) StreamStats {
+	T := float64(slots)
+	s := StreamStats{Enabled: true}
+	for i := range a.firstOffer {
+		if a.firstOffer[i] < 0 {
+			continue
+		}
+		s.Streams++
+		if a.advance(i, T) {
+			// Ran dry between the last delivery and trial end.
+			a.stalled[i] += T - a.stallStart[i]
+		} else if a.started[i] && !a.playing[i] {
+			a.stalled[i] += T - a.stallStart[i]
+		}
+		if a.started[i] {
+			s.Started++
+			s.StartupSlotsSum += a.startup[i]
+			s.StreamingSlots += T - a.playStart[i]
+		}
+		s.RebufferEvents += a.rebuffers[i]
+		s.RebufferSlots += a.stalled[i]
+		a.sleep(i, slots)
+		awake := a.awake[i]
+		if awake > slots {
+			awake = slots
+		}
+		asleep := slots - awake
+		energy := float64(awake) + a.sleepFrac*float64(asleep)
+		s.AwakeSlots += float64(awake)
+		s.SleepSlots += float64(asleep)
+		s.EnergyUnits += energy
+		if met != nil {
+			if a.started[i] {
+				met.startupSlots.Observe(a.startup[i])
+			}
+			if bits := float64(delivered[i]) * bitsPerPacket; bits > 0 {
+				met.energyPerBit.Observe(energy / bits)
+			}
+		}
+	}
+	if s.Started > 0 {
+		s.MeanStartupSlots = s.StartupSlotsSum / float64(s.Started)
+	}
+	if s.StreamingSlots > 0 {
+		s.RebufferRate = s.RebufferSlots / s.StreamingSlots
+	}
+	return s
+}
+
+// mergeStream folds one trial's stream stats into an aggregate and
+// recomputes the derived rates; wirelessBits and slots are the
+// aggregate's totals (for EnergyPerBit and goodput).
+func mergeStream(dst *StreamStats, src StreamStats, wirelessBits int64, slots float64) {
+	if !src.Enabled {
+		return
+	}
+	dst.Enabled = true
+	dst.Streams += src.Streams
+	dst.Started += src.Started
+	dst.StartupSlotsSum += src.StartupSlotsSum
+	dst.RebufferEvents += src.RebufferEvents
+	dst.RebufferSlots += src.RebufferSlots
+	dst.StreamingSlots += src.StreamingSlots
+	dst.AwakeSlots += src.AwakeSlots
+	dst.SleepSlots += src.SleepSlots
+	dst.EnergyUnits += src.EnergyUnits
+	if dst.Started > 0 {
+		dst.MeanStartupSlots = dst.StartupSlotsSum / float64(dst.Started)
+	}
+	if dst.StreamingSlots > 0 {
+		dst.RebufferRate = dst.RebufferSlots / dst.StreamingSlots
+	}
+	if wirelessBits > 0 {
+		dst.EnergyPerBit = dst.EnergyUnits / float64(wirelessBits)
+	}
+	if slots > 0 {
+		dst.GoodputBitsPerSlot = float64(wirelessBits) / slots
+	}
+}
+
+// mergeTransport folds one trial's transport stats into an aggregate;
+// MeanFinalCwnd averages with trial weight n (the count already folded
+// into dst, for the running mean).
+func mergeTransport(dst *TransportStats, src TransportStats, n int) {
+	if !src.Enabled {
+		return
+	}
+	dst.Enabled = true
+	dst.Retransmits += src.Retransmits
+	dst.Timeouts += src.Timeouts
+	dst.WindowLimitedCycles += src.WindowLimitedCycles
+	dst.MeanFinalCwnd += (src.MeanFinalCwnd - dst.MeanFinalCwnd) / float64(n+1)
+}

@@ -208,6 +208,7 @@ func aggregateCampus(cells []Summary) Summary {
 	}
 	s := Summary{Trials: cells[0].Trials, Cycles: cells[0].Cycles}
 	s.Latency = &stats.Sketch{}
+	tpCells := 0
 	for _, c := range cells {
 		s.MeanSlots += c.MeanSlots
 		s.PerClientThroughput = append(s.PerClientThroughput, c.PerClientThroughput...)
@@ -219,8 +220,24 @@ func aggregateCampus(cells []Summary) Summary {
 		s.BufferDroppedPackets += c.BufferDroppedPackets
 		s.BackendBytes += c.BackendBytes
 		s.WirelessBits += c.WirelessBits
+		if c.Transport.Enabled {
+			mergeTransport(&s.Transport, c.Transport, tpCells)
+			tpCells++
+		}
+		mergeStream(&s.Stream, c.Stream, 0, 0)
 	}
 	s.MeanSlots /= float64(len(cells))
+	if s.Stream.Enabled {
+		// Cells carry their streams concurrently: energy pools against
+		// the campus's delivered bits, goodput against the summed cell
+		// airtimes (MeanSlots per cell times trials per cell).
+		if s.WirelessBits > 0 {
+			s.Stream.EnergyPerBit = s.Stream.EnergyUnits / float64(s.WirelessBits)
+		}
+		if total := s.MeanSlots * float64(len(cells)) * float64(s.Trials); total > 0 {
+			s.Stream.GoodputBitsPerSlot = float64(s.WirelessBits) / total
+		}
+	}
 	if s.Latency.Count() > 0 {
 		s.MeanLatencySlots = s.Latency.Mean()
 		s.P95LatencySlots = s.Latency.Quantile(95)

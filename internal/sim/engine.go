@@ -74,7 +74,7 @@ type engine struct {
 	// otherwise redo per candidate evaluation. cacheEpoch tracks the
 	// world epoch the entries were planned under; a fading change drops
 	// them all.
-	cache      map[groupKey]groupOutcome
+	cache      map[planKey]groupOutcome
 	cacheEpoch uint64
 
 	// Channel-dynamics state: the normalized Dynamics block, a dedicated
@@ -88,6 +88,16 @@ type engine struct {
 	gens  []Generator
 	next  []float64 // next arrival time in slots (timed workloads)
 	batch []arrival // reusable arrival-sorting scratch
+
+	// Closed-loop planes, both nil in the legacy open-loop model: tp is
+	// the windowed transport (Config.Transport), app the streaming
+	// application plane (WorkloadStreaming). stripes > 1 rotates the
+	// uplink chain's AP order per (head, cycle) — rotBuf is the reused
+	// rotation scratch.
+	tp      *transportState
+	app     *appState
+	stripes int
+	rotBuf  []*channel.Node
 
 	// Event-driven traffic plane (the default EngineWheel path). For
 	// timed workloads every client's next arrival is an armed timer on
@@ -153,7 +163,7 @@ func newEngine(cfg Config) (*engine, error) {
 		scenario:  scenario,
 		rng:       rand.New(rand.NewSource(cfg.Seed + 7)),
 		hub:       backend.NewMemHub(cfg.APs),
-		cache:     map[groupKey]groupOutcome{},
+		cache:     map[planKey]groupOutcome{},
 		payload:   make([]byte, cfg.PacketBytes),
 		gens:      make([]Generator, cfg.Clients),
 		next:      make([]float64, cfg.Clients),
@@ -230,6 +240,20 @@ func newEngine(cfg Config) (*engine, error) {
 			}
 		}
 	}
+	if cfg.Transport.enabled() {
+		e.tp = newTransportState(cfg.Transport, cfg.Clients)
+		if s := cfg.Transport.Stripes; s > 1 {
+			if s > e.chainAPs {
+				s = e.chainAPs
+			}
+			e.stripes = s
+			e.rotBuf = make([]*channel.Node, e.chainAPs)
+		}
+	}
+	if cfg.Workload.Kind == Streaming {
+		e.app = newAppState(cfg.Workload)
+		e.app.init(cfg.Clients)
+	}
 	picker, err := newPicker(cfg)
 	if err != nil {
 		return nil, err
@@ -289,7 +313,18 @@ func Run(cfg Config) (TrialResult, error) {
 func (e *engine) cycle(c int) {
 	e.cycleNo = c
 	e.applyDynamics(c)
+	if e.tp != nil {
+		// Closed loop first: digest the previous cycle's ack-map
+		// outcomes (AIMD window moves, retransmit scheduling), fire due
+		// RTO timers back into the MAC, then let fresh arrivals land and
+		// admit up to each window.
+		e.beaconClock(c)
+		e.fireRetransmits(c)
+	}
 	e.generate()
+	if e.tp != nil {
+		e.admitWindows()
+	}
 	beacon := e.sim.RunCFP()
 	if len(beacon.AckMap) > 0 {
 		e.publish(backend.MsgAckMap, beacon.AckMap)
@@ -404,7 +439,9 @@ func (e *engine) topUp(i, now int) {
 // enqueueBatch sorts a cycle's arrivals into true arrival order (ties
 // by client index) and enqueues them at the leader, dropping arrivals
 // beyond a client's buffer cap. Shared verbatim by the wheel and scan
-// paths — the ordering rule is the determinism contract.
+// paths — the ordering rule is the determinism contract. With the
+// transport enabled, arrivals buffer in the client's flow queue instead
+// and enter the MAC later through the window admission pass.
 func (e *engine) enqueueBatch(batch []arrival) {
 	e.batch = batch
 	slices.SortFunc(batch, func(a, b arrival) int {
@@ -417,14 +454,27 @@ func (e *engine) enqueueBatch(batch []arrival) {
 			return a.client - b.client
 		}
 	})
+	now := e.sim.Slots()
 	for _, ar := range batch {
 		i := ar.client
 		e.offered[i]++
-		if e.pending[i] < e.cfg.MaxQueue {
+		if e.tp != nil {
+			if e.tp.flows[i].len() < e.cfg.MaxQueue {
+				e.tp.push(i, tpPkt{born: int(ar.born)})
+			} else {
+				e.bufDrops[i]++
+				continue
+			}
+		} else if e.pending[i] < e.cfg.MaxQueue {
 			e.pending[i]++
 			e.sim.EnqueueBorn(mac.ClientID(i), int(ar.born))
 		} else {
 			e.bufDrops[i]++
+			continue
+		}
+		if e.app != nil {
+			e.app.onArrival(i, ar.born)
+			e.app.wake(i, now)
 		}
 	}
 }
@@ -531,6 +581,24 @@ func makeGroupKey(group []mac.ClientID) groupKey {
 	return k
 }
 
+// planKey is the plan cache's key: the group plus the AP-rotation
+// stripe the slot runs under. Without striping the stripe is always 0,
+// so the key degenerates to the plain group key.
+type planKey struct {
+	g      groupKey
+	stripe int8
+}
+
+// stripeFor picks the AP rotation for a group this cycle: the head
+// client and cycle index walk the flow's packets round-robin across the
+// cell's uplink chains. Always 0 with striping off.
+func (e *engine) stripeFor(group []mac.ClientID) int8 {
+	if e.stripes <= 1 {
+		return 0
+	}
+	return int8((int(group[0]) + e.cycleNo) % e.stripes)
+}
+
 func (e *engine) outcome(group []mac.ClientID) groupOutcome {
 	// Invalidation rule: group plans are valid exactly as long as the
 	// world's channel state; any fading mutation bumps the epoch and
@@ -540,15 +608,27 @@ func (e *engine) outcome(group []mac.ClientID) groupOutcome {
 		clear(e.cache)
 		e.cacheEpoch = ep
 	}
-	k := makeGroupKey(group)
+	k := planKey{g: makeGroupKey(group), stripe: e.stripeFor(group)}
 	if out, ok := e.cache[k]; ok {
 		return out
 	}
-	out := e.plan(group)
+	out := e.plan(group, k.stripe)
 	e.cache[k] = out
 	e.emit(Event{Kind: EventSlotPlanned, Cycle: e.cycleNo,
 		Slot: e.sim.Slots(), Group: len(group), Value: out.sumRate})
 	return out
+}
+
+// chainOrder is the AP slice an uplink chain slot engages: the first
+// chainAPs APs, rotated by the stripe so successive stripes anchor the
+// successive-cancellation chain at different APs.
+func (e *engine) chainOrder(stripe int8) []*channel.Node {
+	if stripe == 0 {
+		return e.scenario.APs[:e.chainAPs]
+	}
+	n := copy(e.rotBuf, e.scenario.APs[int(stripe):e.chainAPs])
+	copy(e.rotBuf[n:], e.scenario.APs[:int(stripe)])
+	return e.rotBuf[:e.chainAPs]
 }
 
 // plan maps the group onto a supported slot shape and evaluates it:
@@ -562,7 +642,7 @@ func (e *engine) outcome(group []mac.ClientID) groupOutcome {
 //
 // The fallback serves only the head; other members come back as lost
 // and retry next CFP, charging the grouping inefficiency to airtime.
-func (e *engine) plan(group []mac.ClientID) groupOutcome {
+func (e *engine) plan(group []mac.ClientID, stripe int8) groupOutcome {
 	idx := make([]int, len(group))
 	for i, c := range group {
 		idx[i] = int(c)
@@ -577,7 +657,7 @@ func (e *engine) plan(group []mac.ClientID) groupOutcome {
 	var err error
 	switch {
 	case e.cfg.Uplink && len(idx) == 3 && na >= 3:
-		sub.APs = e.scenario.APs[:e.chainAPs]
+		sub.APs = e.chainOrder(stripe)
 		res, err = testbed.RunUplinkSlotWS(e.ws, e.chans, sub, 0, e.rng)
 	case e.cfg.Uplink && len(idx) == 2 && na >= 2:
 		sub.APs = e.scenario.APs[:2]
@@ -649,15 +729,49 @@ func (e *engine) PacketDelivered(c mac.ClientID, born, now int, rate float64) {
 	e.delivered[i]++
 	e.rateSum[i] += rate
 	e.lat.forClient(i).Add(float64(now - born))
+	if e.tp != nil {
+		e.tp.onAck(i, born)
+	}
+	if e.app != nil {
+		if e.app.onDelivery(i, float64(now)) {
+			e.emit(Event{Kind: EventRebuffer, Cycle: e.cycleNo, Slot: now,
+				Value: float64(e.app.rebuffers[i])})
+		}
+		e.maybeSleep(i, now)
+	}
 	e.markRefill(i)
 }
 
-// PacketDropped implements mac.Tracer.
+// PacketDropped implements mac.Tracer. With the transport enabled a
+// final MAC drop is not yet a loss: the transport parks it for a
+// backoff retransmit, and only transport-budget exhaustion (in
+// beaconClock) counts it as Dropped.
 func (e *engine) PacketDropped(c mac.ClientID, born, now int) {
 	i := int(c)
 	e.pending[i]--
-	e.dropped[i]++
+	if e.tp != nil {
+		e.tp.onLoss(i, born)
+	} else {
+		e.dropped[i]++
+	}
+	if e.app != nil {
+		e.maybeSleep(i, now)
+	}
 	e.markRefill(i)
+}
+
+// maybeSleep puts the client radio to sleep when its last backlog
+// drained: nothing queued at the application flow and nothing inside
+// the MAC. A packet waiting out a retransmit backoff does not keep the
+// radio up — the RTO timer wakes it on re-injection.
+func (e *engine) maybeSleep(i, now int) {
+	backlog := e.pending[i]
+	if e.tp != nil {
+		backlog += e.tp.flows[i].len()
+	}
+	if backlog == 0 {
+		e.app.sleep(i, now)
+	}
 }
 
 // result freezes the trial's accumulated state into a TrialResult.
@@ -715,6 +829,20 @@ func (e *engine) result() TrialResult {
 	if tr.WirelessBits > 0 {
 		tr.BackendBytesPerWirelessBit = float64(tr.BackendBytes) / float64(tr.WirelessBits)
 	}
+	if e.tp != nil {
+		tr.Transport = e.tp.stats()
+	}
+	if e.app != nil {
+		// finalize also feeds the per-client startup/energy-per-bit
+		// distribution samples into the registry (nil-safe via met).
+		tr.Stream = e.app.finalize(slots, e.delivered, bitsPerPacket, e.met)
+		if tr.WirelessBits > 0 {
+			tr.Stream.EnergyPerBit = tr.Stream.EnergyUnits / float64(tr.WirelessBits)
+		}
+		if slots > 0 {
+			tr.Stream.GoodputBitsPerSlot = float64(tr.WirelessBits) / float64(slots)
+		}
+	}
 	if m := e.met; m != nil {
 		// One batched flush per trial: atomic adds commute, so the
 		// registry totals after a sweep are deterministic whatever
@@ -740,6 +868,16 @@ func (e *engine) result() TrialResult {
 		}
 		m.latency.Merge(pooled)
 		m.batchProducts.Merge(&e.batchSketch)
+		if e.tp != nil {
+			m.transportRetransmits.Add(uint64(tr.Transport.Retransmits))
+			m.transportTimeouts.Add(uint64(tr.Transport.Timeouts))
+		}
+		if e.app != nil {
+			m.streamRebuffers.Add(uint64(tr.Stream.RebufferEvents))
+			m.streamRebufferSlots.Add(uint64(tr.Stream.RebufferSlots))
+			m.streamAwakeSlots.Add(uint64(tr.Stream.AwakeSlots))
+			m.streamSleepSlots.Add(uint64(tr.Stream.SleepSlots))
+		}
 	}
 	e.emit(Event{Kind: EventTrialDone, Cycle: e.cfg.Cycles, Slot: slots,
 		Value: tr.SumThroughputBitsPerSlot})

@@ -60,6 +60,11 @@ type TrialResult struct {
 	BackendBytes               int64
 	WirelessBits               int64
 	BackendBytesPerWirelessBit float64
+	// Transport is the closed-loop transport's accounting (zero with
+	// Config.Transport disabled); Stream the streaming application
+	// plane's (zero without WorkloadStreaming).
+	Transport TransportStats
+	Stream    StreamStats
 }
 
 // Summary aggregates a trial sweep. Scalar fields are means across
@@ -95,6 +100,12 @@ type Summary struct {
 	BackendBytes               int64
 	WirelessBits               int64
 	BackendBytesPerWirelessBit float64
+	// Transport sums the trials' closed-loop counters (MeanFinalCwnd
+	// averages); Stream sums the session tallies and recomputes the
+	// derived rates from the pooled numerators. Both stay zero when the
+	// respective plane never ran.
+	Transport TransportStats
+	Stream    StreamStats
 }
 
 // Summarize aggregates trials deterministically (in slice order).
@@ -110,12 +121,18 @@ func Summarize(trials []TrialResult) Summary {
 	// over every delivered packet of the sweep, so the p95 is a true
 	// pooled percentile rather than a mean of per-trial percentiles.
 	s.Latency = &stats.Sketch{}
+	tpTrials := 0
 	for _, tr := range trials {
 		s.MeanSlots += float64(tr.Slots)
 		s.SumThroughputBitsPerSlot += tr.SumThroughputBitsPerSlot
 		s.Latency.Merge(tr.Latency)
 		s.BackendBytes += tr.BackendBytes
 		s.WirelessBits += tr.WirelessBits
+		if tr.Transport.Enabled {
+			mergeTransport(&s.Transport, tr.Transport, tpTrials)
+			tpTrials++
+		}
+		mergeStream(&s.Stream, tr.Stream, 0, 0)
 		for i, cm := range tr.PerClient {
 			if i < nClients {
 				s.PerClientThroughput[i] += cm.ThroughputBitsPerSlot
@@ -143,6 +160,16 @@ func Summarize(trials []TrialResult) Summary {
 	if s.WirelessBits > 0 {
 		s.BackendBytesPerWirelessBit = float64(s.BackendBytes) / float64(s.WirelessBits)
 	}
+	if s.Stream.Enabled {
+		// Recompute the pooled rates against the sweep's totals (the
+		// per-trial merges above passed zero placeholders).
+		if s.WirelessBits > 0 {
+			s.Stream.EnergyPerBit = s.Stream.EnergyUnits / float64(s.WirelessBits)
+		}
+		if total := s.MeanSlots * n; total > 0 {
+			s.Stream.GoodputBitsPerSlot = float64(s.WirelessBits) / total
+		}
+	}
 	return s
 }
 
@@ -156,5 +183,18 @@ func (s Summary) String() string {
 	fmt.Fprintf(&b, "latency mean %.1f slots, p95 %.1f slots\n", s.MeanLatencySlots, s.P95LatencySlots)
 	fmt.Fprintf(&b, "backend %.4f bytes per wireless bit (%d B / %d b)\n",
 		s.BackendBytesPerWirelessBit, s.BackendBytes, s.WirelessBits)
+	// The transport and streaming lines render only when their planes
+	// ran: legacy summaries keep their exact five-line shape (pinned by
+	// TestSummaryStringFormat).
+	if s.Transport.Enabled {
+		fmt.Fprintf(&b, "transport retransmits %d (timeouts %d), window-limited cycles %d, mean cwnd %.1f\n",
+			s.Transport.Retransmits, s.Transport.Timeouts, s.Transport.WindowLimitedCycles, s.Transport.MeanFinalCwnd)
+	}
+	if s.Stream.Enabled {
+		fmt.Fprintf(&b, "streams %d/%d started, startup mean %.0f slots, rebuffers %d (rate %.4f of watch time)\n",
+			s.Stream.Started, s.Stream.Streams, s.Stream.MeanStartupSlots, s.Stream.RebufferEvents, s.Stream.RebufferRate)
+		fmt.Fprintf(&b, "radio awake %.0f slots, asleep %.0f; energy %.3g units (%.3g per wireless bit)\n",
+			s.Stream.AwakeSlots, s.Stream.SleepSlots, s.Stream.EnergyUnits, s.Stream.EnergyPerBit)
+	}
 	return b.String()
 }

@@ -53,6 +53,24 @@ const (
 	metricPoolGets   = "phy_pool_gets"
 	metricPoolPuts   = "phy_pool_puts"
 	metricPoolReuses = "phy_pool_reuses"
+	// Transport-plane counters: packets the closed loop re-injected
+	// after a final MAC drop, and the RTO timer firings behind them.
+	// Both stay zero with Config.Transport disabled.
+	metricTransportRetransmits = "sim_transport_retransmits"
+	metricTransportTimeouts    = "sim_transport_timeouts"
+	// Streaming-application counters and distributions: rebuffer events
+	// and stalled airtime across every session, the radio awake/sleep
+	// split, the per-client startup-delay distribution, and the
+	// per-client energy-per-bit distribution (slot-units per payload
+	// bit — values live well below the latency sketch's 1e-2 bin floor,
+	// so its snapshot reports them via min/max with saturated_low
+	// flagging the clipping). All stay zero without WorkloadStreaming.
+	metricStreamRebuffers     = "sim_stream_rebuffers"
+	metricStreamRebufferSlots = "sim_stream_rebuffer_slots"
+	metricStreamAwakeSlots    = "sim_stream_awake_slots"
+	metricStreamSleepSlots    = "sim_stream_sleep_slots"
+	metricStreamStartupSlots  = "sim_stream_startup_slots"
+	metricStreamEnergyPerBit  = "sim_stream_energy_per_bit"
 	// metricBatchProducts distributes the per-slot batched-kernel
 	// dispatch size (direction products per planned slot), merged into
 	// the registry once per trial alongside the latency sketch. Stays
@@ -99,6 +117,15 @@ type simMetrics struct {
 	timersCascaded  *obs.Counter
 	latency         *obs.Distribution
 	batchProducts   *obs.Distribution
+
+	transportRetransmits *obs.Counter
+	transportTimeouts    *obs.Counter
+	streamRebuffers      *obs.Counter
+	streamRebufferSlots  *obs.Counter
+	streamAwakeSlots     *obs.Counter
+	streamSleepSlots     *obs.Counter
+	startupSlots         *obs.Distribution
+	energyPerBit         *obs.Distribution
 }
 
 // newSimMetrics resolves every engine metric in reg, or returns nil for
@@ -127,6 +154,15 @@ func newSimMetrics(reg *obs.Registry) *simMetrics {
 		timersCascaded:  reg.Counter(metricTimersCascaded),
 		latency:         reg.Distribution(metricLatency),
 		batchProducts:   reg.Distribution(metricBatchProducts),
+
+		transportRetransmits: reg.Counter(metricTransportRetransmits),
+		transportTimeouts:    reg.Counter(metricTransportTimeouts),
+		streamRebuffers:      reg.Counter(metricStreamRebuffers),
+		streamRebufferSlots:  reg.Counter(metricStreamRebufferSlots),
+		streamAwakeSlots:     reg.Counter(metricStreamAwakeSlots),
+		streamSleepSlots:     reg.Counter(metricStreamSleepSlots),
+		startupSlots:         reg.Distribution(metricStreamStartupSlots),
+		energyPerBit:         reg.Distribution(metricStreamEnergyPerBit),
 	}
 }
 

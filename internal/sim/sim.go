@@ -100,6 +100,12 @@ type Config struct {
 	Pipeline bool
 	// Workload is the per-client offered-load model.
 	Workload Workload
+	// Transport configures the per-client windowed transport above the
+	// MAC: AIMD congestion windows clocked off the beacon ack map,
+	// timeout-driven retransmission of final MAC drops, and optional
+	// multi-AP striping of the uplink chain. The zero value is the
+	// legacy open-loop model, bit for bit.
+	Transport Transport
 	// Dynamics configures time-varying channel state: block fading per
 	// coherence interval, random-waypoint client mobility, and the
 	// re-training schedule with its airtime cost. The zero value runs
@@ -199,6 +205,7 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	c.Transport = c.Transport.normalized()
 	return c
 }
 
@@ -287,6 +294,25 @@ func (c Config) validate() error {
 	}
 	if err := c.Cells.validate(); err != nil {
 		return err
+	}
+	if err := c.Transport.validate(); err != nil {
+		return err
+	}
+	if c.Transport.Enabled {
+		if c.Workload.Kind == Saturated {
+			// Saturated sources have no arrival process to window: the
+			// engine tops queues up to a fixed depth, which is already a
+			// (degenerate) closed loop.
+			return fmt.Errorf("sim: Transport does not apply to the saturated workload")
+		}
+		if c.Transport.Stripes > 1 {
+			if !c.Uplink {
+				return fmt.Errorf("sim: Transport.Stripes needs an uplink (striping rotates the uplink chain's AP anchor)")
+			}
+			if c.Transport.Stripes > c.APs {
+				return fmt.Errorf("sim: Transport.Stripes %d exceeds %d APs", c.Transport.Stripes, c.APs)
+			}
+		}
 	}
 	return c.Workload.validate()
 }

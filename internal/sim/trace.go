@@ -33,6 +33,15 @@ const (
 	// EventCellDone fires when the last trial of a campus cell
 	// completes. Value is the cell's mean sum throughput in bits/slot.
 	EventCellDone
+	// EventRetransmit fires when the transport's RTO timer re-injects a
+	// client's timed-out packets into the MAC. Slot is the airtime
+	// clock, Value the number of packets released by the firing.
+	EventRetransmit
+	// EventRebuffer fires when a streaming client's playback buffer
+	// runs dry mid-stream. Slot is the airtime clock of the delivery
+	// that observed the stall, Value the client's cumulative rebuffer
+	// count.
+	EventRebuffer
 )
 
 // String names the kind for logs and test failure messages.
@@ -52,6 +61,10 @@ func (k EventKind) String() string {
 		return "trial-done"
 	case EventCellDone:
 		return "cell-done"
+	case EventRetransmit:
+		return "retransmit"
+	case EventRebuffer:
+		return "rebuffer"
 	}
 	return "unknown"
 }

@@ -24,6 +24,15 @@ const (
 	// silent off-periods sized so the long-run mean load stays at
 	// PacketsPerSlot — on/off streaming traffic.
 	Bursty WorkloadKind = "bursty"
+	// Streaming models on-demand video: every ChunkSlots slots the
+	// server offers one chunk as a back-to-back packet burst sized so
+	// the long-run rate is PacketsPerSlot, and the client plays the
+	// delivered chunks out of a buffer at that same rate (startup
+	// delay, rebuffer events, and radio sleep between bursts are
+	// tracked by the application plane — see StreamStats). The arrival
+	// process itself is deterministic; only the per-client phase is
+	// randomized.
+	Streaming WorkloadKind = "streaming"
 )
 
 // Workload specifies a per-client offered-load model. The zero value is
@@ -38,6 +47,56 @@ type Workload struct {
 	// MeanBurstSlots is Bursty's mean on-period length in slots;
 	// defaults to 20.
 	MeanBurstSlots float64
+	// ChunkSlots is Streaming's chunk period in slots: one burst of
+	// round(PacketsPerSlot*ChunkSlots) packets every ChunkSlots slots.
+	// Defaults to 40. Streaming requires PacketsPerSlot <= 1 (the burst
+	// must fit its own period with room to idle).
+	ChunkSlots float64
+	// StartupChunks is how many chunks the playback buffer holds before
+	// the stream starts (and before it resumes after a rebuffer).
+	// Defaults to 2.
+	StartupChunks int
+	// SleepFraction is the relative power draw of a sleeping client
+	// radio (awake = 1 slot-unit per slot). Defaults to 0.05.
+	SleepFraction float64
+}
+
+// streamBurstPackets is the packets per chunk burst: the chunk period's
+// worth of offered load, at least one packet.
+func (w Workload) streamBurstPackets() int {
+	p := w.ChunkSlots
+	if p == 0 {
+		p = 40
+	}
+	b := int(w.PacketsPerSlot*p + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// streamChunkSlots is the chunk period with its default applied.
+func (w Workload) streamChunkSlots() float64 {
+	if w.ChunkSlots == 0 {
+		return 40
+	}
+	return w.ChunkSlots
+}
+
+// streamStartupChunks is the playback start threshold in chunks.
+func (w Workload) streamStartupChunks() int {
+	if w.StartupChunks == 0 {
+		return 2
+	}
+	return w.StartupChunks
+}
+
+// streamSleepFraction is the sleeping radio's relative power draw.
+func (w Workload) streamSleepFraction() float64 {
+	if w.SleepFraction == 0 {
+		return 0.05
+	}
+	return w.SleepFraction
 }
 
 func (w Workload) validate() error {
@@ -58,6 +117,29 @@ func (w Workload) validate() error {
 		}
 		if w.MeanBurstSlots < 0 {
 			return fmt.Errorf("sim: bursty MeanBurstSlots must be >= 0")
+		}
+		return nil
+	case Streaming:
+		if !(w.PacketsPerSlot > 0) {
+			return fmt.Errorf("sim: streaming workload needs PacketsPerSlot > 0")
+		}
+		if w.PacketsPerSlot > 1 {
+			// The chunk burst arrives back to back at one packet per
+			// slot; a rate above that cannot fit its own period and the
+			// arrival process would never idle.
+			return fmt.Errorf("sim: streaming PacketsPerSlot %v exceeds 1 packet/slot", w.PacketsPerSlot)
+		}
+		if w.ChunkSlots < 0 {
+			return fmt.Errorf("sim: streaming ChunkSlots must be >= 0")
+		}
+		if w.ChunkSlots != 0 && w.ChunkSlots < 1 {
+			return fmt.Errorf("sim: streaming ChunkSlots %v below one slot", w.ChunkSlots)
+		}
+		if w.StartupChunks < 0 {
+			return fmt.Errorf("sim: streaming StartupChunks must be >= 0")
+		}
+		if w.SleepFraction < 0 || w.SleepFraction > 1 {
+			return fmt.Errorf("sim: streaming SleepFraction %v outside [0, 1]", w.SleepFraction)
 		}
 		return nil
 	default:
@@ -102,6 +184,11 @@ func (w Workload) NewGenerator() (Generator, error) {
 			onInterval: duty / w.PacketsPerSlot,
 			onMean:     onMean,
 			offMean:    onMean * (1 - duty) / duty,
+		}, nil
+	case Streaming:
+		return &streamGen{
+			burst:  w.streamBurstPackets(),
+			period: w.streamChunkSlots(),
 		}, nil
 	}
 	return nil, fmt.Errorf("sim: unknown workload kind %q", w.Kind)
@@ -149,4 +236,30 @@ func (g *burstyGen) Next(rng *rand.Rand) float64 {
 	gap := g.remainingOn + g.offMean*rng.ExpFloat64() + g.onInterval
 	g.remainingOn = g.onMean * rng.ExpFloat64()
 	return gap
+}
+
+// streamGen is the deterministic chunked-video source: every period
+// slots it emits burst packets back to back (one slot apart), then
+// idles out the remainder of the period. rate <= 1 packet/slot
+// guarantees the idle gap stays positive, so the arrival loop always
+// advances. Only the per-client phase offset (applied by the engine to
+// the first arrival) is random.
+type streamGen struct {
+	burst  int
+	period float64
+	// sent counts packets emitted in the current chunk.
+	sent int
+}
+
+func (g *streamGen) Name() string { return string(Streaming) }
+
+func (g *streamGen) Next(*rand.Rand) float64 {
+	g.sent++
+	if g.sent < g.burst {
+		return 1
+	}
+	// Last packet of the chunk: idle until the next chunk's first
+	// packet, one period after this chunk's first.
+	g.sent = 0
+	return g.period - float64(g.burst-1)
 }

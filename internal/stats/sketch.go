@@ -63,6 +63,15 @@ type Sketch struct {
 }
 
 // Add records one sample. It never allocates.
+//
+// The binned domain is [1e-2, 1e8): samples below 1e-2 (zero and
+// negatives included) saturate into the underflow bucket and samples at
+// or above 1e8 into the overflow bucket. Saturated samples still count
+// toward Count/Sum/Min/Max exactly, but their quantile contribution
+// collapses to the observed minimum (respectively maximum) — the
+// ~1.2% relative-error guarantee holds only inside the domain. Callers
+// feeding sub-1e-2 samples (e.g. energy-per-bit metrics) should check
+// Saturated to see how much of the distribution was clipped.
 func (s *Sketch) Add(x float64) {
 	s.count++
 	s.sum += x
@@ -128,6 +137,17 @@ func (s *Sketch) Merge(o *Sketch) {
 
 // Reset empties the sketch in place.
 func (s *Sketch) Reset() { *s = Sketch{} }
+
+// Saturated returns how many samples fell outside the binned
+// [1e-2, 1e8) domain: low counts samples below it (the underflow
+// bucket — zero and negatives included), high counts samples at or
+// above it (the overflow bucket). Saturated samples are summarized by
+// the observed min/max instead of a log-spaced bucket, so a nonzero
+// count warns a reader that the quantiles near that edge are clipped.
+// Merge sums the counts like any other bucket.
+func (s *Sketch) Saturated() (low, high uint64) {
+	return s.bins[0], s.bins[sketchBins+1]
+}
 
 // Count returns the number of recorded samples, NaNs included.
 func (s *Sketch) Count() int64 { return int64(s.count) }
@@ -216,7 +236,12 @@ func (s *Sketch) clamp(v float64) float64 {
 func sketchBinValue(i int) float64 {
 	switch i {
 	case 0:
-		return 0 // underflow: clamped up to the observed minimum
+		// Underflow: -Inf, clamped up to the observed minimum. (A 0
+		// representative here would dodge the clamp whenever the
+		// observed minimum is negative, reporting a value no sample
+		// ever took — the documented observed-minimum contract needs
+		// the representative below every possible minimum.)
+		return math.Inf(-1)
 	case sketchBins + 1:
 		return math.Inf(1) // overflow: clamped down to the observed maximum
 	}
@@ -235,19 +260,28 @@ type SketchSnapshot struct {
 	P90   float64 `json:"p90"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// SaturatedLow / SaturatedHigh count samples that fell outside the
+	// binned [1e-2, 1e8) domain (see Saturated). Nonzero values tell a
+	// /status reader that the quantiles near that edge are clipped to
+	// the observed min/max rather than resolved to ~1.2%.
+	SaturatedLow  uint64 `json:"saturated_low"`
+	SaturatedHigh uint64 `json:"saturated_high"`
 }
 
 // Snapshot summarizes the sketch for serialization.
 func (s *Sketch) Snapshot() SketchSnapshot {
+	low, high := s.Saturated()
 	return SketchSnapshot{
-		Count: s.Count(),
-		Mean:  jsonSafe(s.Mean()),
-		Min:   jsonSafe(s.Min()),
-		Max:   jsonSafe(s.Max()),
-		P50:   jsonSafe(s.Quantile(50)),
-		P90:   jsonSafe(s.Quantile(90)),
-		P95:   jsonSafe(s.Quantile(95)),
-		P99:   jsonSafe(s.Quantile(99)),
+		Count:         s.Count(),
+		Mean:          jsonSafe(s.Mean()),
+		Min:           jsonSafe(s.Min()),
+		Max:           jsonSafe(s.Max()),
+		P50:           jsonSafe(s.Quantile(50)),
+		P90:           jsonSafe(s.Quantile(90)),
+		P95:           jsonSafe(s.Quantile(95)),
+		P99:           jsonSafe(s.Quantile(99)),
+		SaturatedLow:  low,
+		SaturatedHigh: high,
 	}
 }
 

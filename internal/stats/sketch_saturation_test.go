@@ -1,0 +1,98 @@
+package stats
+
+// Edge behavior of the sketch's binned [1e-2, 1e8) domain. These tests
+// pin what saturation does today — underflow collapses to the observed
+// minimum, overflow to the observed maximum — and cover the Saturated
+// counters that let /status readers detect clipped distributions
+// (energy-per-bit samples routinely land below 1e-2).
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSketchUnderflowSaturatesToObservedMin(t *testing.T) {
+	var s Sketch
+	// All three land in the underflow bucket: below-range positive,
+	// zero, and negative.
+	s.Add(1e-3)
+	s.Add(0)
+	s.Add(-5)
+	if got := s.Count(); got != 3 {
+		t.Fatalf("count %d, want 3", got)
+	}
+	low, high := s.Saturated()
+	if low != 3 || high != 0 {
+		t.Fatalf("saturated (%d, %d), want (3, 0)", low, high)
+	}
+	// The pinned edge behavior: every quantile of an all-underflow
+	// sketch reports the observed minimum — the sub-range structure
+	// (1e-3 vs 0 vs -5) is gone.
+	if got := s.Quantile(50); got != -5 {
+		t.Fatalf("p50 %v, want observed min -5", got)
+	}
+	if got := s.Quantile(99); got != -5 {
+		t.Fatalf("p99 %v, want observed min -5", got)
+	}
+	// Min/Max/Sum stay exact regardless of saturation.
+	if s.Min() != -5 || s.Max() != 1e-3 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSketchOverflowSaturatesToObservedMax(t *testing.T) {
+	var s Sketch
+	s.Add(1e8) // the domain is half-open: 1e8 itself overflows
+	s.Add(3e9)
+	low, high := s.Saturated()
+	if low != 0 || high != 2 {
+		t.Fatalf("saturated (%d, %d), want (0, 2)", low, high)
+	}
+	if got := s.Quantile(50); got != 3e9 {
+		t.Fatalf("p50 %v, want observed max 3e9", got)
+	}
+}
+
+func TestSketchEdgeJustInsideDomainDoesNotSaturate(t *testing.T) {
+	var s Sketch
+	s.Add(1e-2) // the domain's closed lower edge
+	s.Add(9.99e7)
+	if low, high := s.Saturated(); low != 0 || high != 0 {
+		t.Fatalf("saturated (%d, %d), want (0, 0)", low, high)
+	}
+}
+
+func TestSketchSaturationMerges(t *testing.T) {
+	var a, b Sketch
+	a.Add(1e-3)
+	a.Add(1)
+	b.Add(1e-4)
+	b.Add(2e8)
+	a.Merge(&b)
+	low, high := a.Saturated()
+	if low != 2 || high != 1 {
+		t.Fatalf("merged saturated (%d, %d), want (2, 1)", low, high)
+	}
+}
+
+func TestSketchSnapshotCarriesSaturation(t *testing.T) {
+	var s Sketch
+	s.Add(1e-3)
+	s.Add(0.5)
+	s.Add(2e8)
+	snap := s.Snapshot()
+	if snap.SaturatedLow != 1 || snap.SaturatedHigh != 1 {
+		t.Fatalf("snapshot saturation (%d, %d), want (1, 1)", snap.SaturatedLow, snap.SaturatedHigh)
+	}
+	// The counters must survive into the JSON a /status reader sees.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"saturated_low":1`, `"saturated_high":1`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("snapshot JSON %s missing %s", raw, key)
+		}
+	}
+}

@@ -83,6 +83,29 @@ func BenchmarkSimulateSNR(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateStream gates the closed-loop transport and streaming
+// application plane: chunked streaming sources admitted through the AIMD
+// window, MAC retries off so every loss rides the transport's RTO wheel
+// back in as a retransmit, and the playback/radio-sleep accounting live
+// on every delivery. This covers the beacon-clocked window updates, the
+// retransmit timer wheel, and the lazy session-state advances the
+// open-loop benchmarks never touch.
+func BenchmarkSimulateStream(b *testing.B) {
+	cfg := benchSimConfig()
+	cfg.Cycles = 120
+	cfg.Trials = 1
+	cfg.MaxRetries = 0
+	cfg.Workload = sim.Workload{Kind: sim.Streaming, PacketsPerSlot: 0.1, ChunkSlots: 30}
+	cfg.Transport = sim.Transport{Enabled: true, RTOCycles: 2}
+	cfg.Link = sim.Link{NoiseDB: 8, ResidualCancel: true, MCS: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateCampus gates the multi-cell campus plane: two cells
 // of the default cluster shape, each slot running the N-AP uplink chain
 // (4 APs engage the full M+2 successive-cancellation spread), with the

@@ -8,8 +8,9 @@ package iaclan
 //     configuration, including a single cell, runs through it), with
 //     Simulate and SimulateTrials as thin conveniences over the same
 //     engine.
-//   - Configuration: SimConfig and its blocks (SimWorkload, SimDynamics,
-//     SimLink, SimCells) plus the name constants for its string knobs.
+//   - Configuration: SimConfig and its blocks (SimWorkload, SimTransport,
+//     SimDynamics, SimLink, SimCells) plus the name constants for its
+//     string knobs.
 //   - Results: SimSummary, SimTrial, SimCampusResult, LatencySketch.
 //   - Observability: the live-metrics registry/server types and the
 //     structured trace-event stream.
@@ -94,8 +95,17 @@ func DefaultSimConfig() SimConfig { return sim.Default() }
 type SimConfig = sim.Config
 
 // SimWorkload specifies the per-client offered-load model of a
-// simulation (kind plus rate/burstiness parameters).
+// simulation (kind plus rate/burstiness parameters; the streaming kind
+// adds the chunk schedule, startup threshold, and radio-sleep power).
 type SimWorkload = sim.Workload
+
+// SimTransport configures the closed-loop transport plane of a
+// simulation: per-client AIMD congestion windows clocked off the
+// beacon's delivery outcomes, RTO-timed retransmission of packets the
+// MAC gave up on, and optional multi-AP striping of the uplink chain's
+// anchor. The zero value runs the legacy open-loop model — packets the
+// MAC drops stay dropped.
+type SimTransport = sim.Transport
 
 // SimDynamics configures time-varying channel state for a simulation:
 // block fading per coherence interval, random-waypoint client mobility,
@@ -128,6 +138,7 @@ const (
 	WorkloadCBR       = sim.CBR
 	WorkloadPoisson   = sim.Poisson
 	WorkloadBursty    = sim.Bursty
+	WorkloadStreaming = sim.Streaming
 )
 
 // Picker names for SimConfig.Picker.
@@ -152,8 +163,22 @@ const (
 
 // SimSummary aggregates a simulation sweep: per-client throughput,
 // latency percentiles, Jain fairness, delivered fraction, and the
-// backend-bytes-per-wireless-bit wired-plane load.
+// backend-bytes-per-wireless-bit wired-plane load. When the transport
+// or streaming planes ran, the Transport and Stream blocks carry their
+// pooled accounting.
 type SimSummary = sim.Summary
+
+// SimTransportStats is the closed-loop transport plane's accounting
+// (SimSummary.Transport, SimTrial.Transport): retransmissions released,
+// RTO firings, window-limited admission cycles, and the mean final
+// congestion window.
+type SimTransportStats = sim.TransportStats
+
+// SimStreamStats is the streaming application plane's accounting
+// (SimSummary.Stream, SimTrial.Stream): sessions started, startup
+// delay, rebuffer events and the fraction of watch time spent stalled,
+// plus the radio awake/sleep split and energy per delivered bit.
+type SimStreamStats = sim.StreamStats
 
 // SimTrial is one trial's raw result (see SimulateTrials).
 type SimTrial = sim.TrialResult
@@ -226,6 +251,8 @@ const (
 	SimEventTimersFired       = sim.EventTimersFired
 	SimEventTrialDone         = sim.EventTrialDone
 	SimEventCellDone          = sim.EventCellDone
+	SimEventRetransmit        = sim.EventRetransmit
+	SimEventRebuffer          = sim.EventRebuffer
 )
 
 // ---------------------------------------------------------------------
