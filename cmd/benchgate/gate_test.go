@@ -1,6 +1,9 @@
 package main
 
 import (
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,5 +78,128 @@ func TestCompareNoCommonBenchmarksFails(t *testing.T) {
 	other := "BenchmarkOther-8 10 5 ns/op\n"
 	if _, ok := compare(parseBench(baseText), parseBench(other), 0.15); ok {
 		t.Fatal("disjoint benchmark sets should fail the gate")
+	}
+}
+
+func names(res map[string]*benchSeries) []string {
+	var out []string
+	for name := range res {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Runs from machines with different GOMAXPROCS must merge into one
+// series, including for sub-benchmarks whose names carry their own
+// dashes; only a trailing numeric segment is a CPU suffix.
+func TestParseBenchNameNormalization(t *testing.T) {
+	text := `
+BenchmarkSimTrialSweep/load=0.5-16    100  12345 ns/op
+BenchmarkSimTrialSweep/load=0.5-8     100  12400 ns/op
+BenchmarkOdd-name-2                    10    100 ns/op
+BenchmarkPlain                         10    200 ns/op
+`
+	res := parseBench(text)
+	s := res["BenchmarkSimTrialSweep/load=0.5"]
+	if s == nil || len(s.nsOp) != 2 {
+		t.Fatalf("CPU suffixes -16/-8 not merged: %v", names(res))
+	}
+	if res["BenchmarkOdd-name"] == nil {
+		t.Fatalf("trailing numeric segment should strip as a CPU count: %v", names(res))
+	}
+	if res["BenchmarkPlain"] == nil {
+		t.Fatalf("suffix-free name mangled: %v", names(res))
+	}
+}
+
+func TestParseBenchIgnoresMalformedLines(t *testing.T) {
+	text := `
+goos: linux
+pkg: iaclan
+BenchmarkShort-8 100
+BenchmarkNoNums-8 abc def ns/op
+BenchmarkAllocOnly-8 100 7 allocs/op
+BenchmarkGood-8 100 500 ns/op 4096 B/op 3 allocs/op
+PASS
+ok  	iaclan	1.2s
+`
+	res := parseBench(text)
+	if len(res) != 1 {
+		t.Fatalf("only BenchmarkGood should survive, got %v", names(res))
+	}
+	s := res["BenchmarkGood"]
+	if s == nil || len(s.nsOp) != 1 || s.nsOp[0] != 500 {
+		t.Fatalf("ns/op sample lost: %+v", s)
+	}
+	// B/op is deliberately not gated; only allocs/op is recorded.
+	if !s.hasAll || len(s.allocs) != 1 || s.allocs[0] != 3 {
+		t.Fatalf("allocs/op sample lost: %+v", s)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd-length median = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even-length median = %v, want 2.5", m)
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Fatal("empty median should be NaN")
+	}
+	xs := []float64{3, 1, 2}
+	median(xs)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Fatalf("median reordered its input: %v", xs)
+	}
+}
+
+// A -benchmem mismatch between the two runs must not trip the alloc
+// gate: it only applies when both sides carry allocs/op samples.
+func TestCompareAllocGateNeedsBothSides(t *testing.T) {
+	base := "BenchmarkX-8 100 1000 ns/op 5 allocs/op\n"
+	head := "BenchmarkX-8 100 1000 ns/op\n"
+	report, ok := compare(parseBench(base), parseBench(head), 0.15)
+	if !ok {
+		t.Fatalf("head without allocs/op should skip the alloc gate:\n%s", report)
+	}
+}
+
+// Benchmarks present on only one side (deleted, or new in the PR) are
+// excluded from both the ratio table and the geomean.
+func TestCompareSkipsOneSidedBenchmarks(t *testing.T) {
+	base := "BenchmarkOld-8 100 1000 ns/op\nBenchmarkBoth-8 100 1000 ns/op\n"
+	head := "BenchmarkBoth-8 100 1000 ns/op\nBenchmarkNew-8 100 99999999 ns/op\n"
+	report, ok := compare(parseBench(base), parseBench(head), 0.15)
+	if !ok {
+		t.Fatalf("one-sided benchmarks must not gate:\n%s", report)
+	}
+	if strings.Contains(report, "BenchmarkOld") || strings.Contains(report, "BenchmarkNew") {
+		t.Fatalf("one-sided benchmarks leaked into the report:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkBoth") {
+		t.Fatalf("common benchmark missing from the report:\n%s", report)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte("BenchmarkX-8 100 1000 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parseFile(good)
+	if err != nil || res["BenchmarkX"] == nil {
+		t.Fatalf("parseFile(good) = %v, %v", names(res), err)
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("goos: linux\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFile(empty); err == nil {
+		t.Fatal("a file with no benchmark lines should error, not gate vacuously")
+	}
+	if _, err := parseFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file should error")
 	}
 }

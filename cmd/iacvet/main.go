@@ -1,0 +1,67 @@
+// Command iacvet is the multichecker binary for iaclan's
+// project-specific static-analysis suite (internal/analysis): the
+// maprange, detpure, wsalloc, and tracenil analyzers plus the
+// iacvet:allow pragma validator. See DESIGN.md "Static analysis".
+//
+// The canonical invocation is through the vet driver, which handles
+// package loading, caching, and dependency facts:
+//
+//	go build -o iacvet ./cmd/iacvet
+//	go vet -vettool=$PWD/iacvet ./...
+//
+// As a convenience, invoking it directly with package patterns re-execs
+// go vet with itself as the vettool:
+//
+//	iacvet ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"iaclan/internal/analysis"
+)
+
+func main() {
+	if args := os.Args[1:]; len(args) > 0 && !vetProtocol(args) {
+		os.Exit(selfVet(args))
+	}
+	unitchecker.Main(analysis.Analyzers()...)
+}
+
+// vetProtocol reports whether the arguments look like the vet driver's
+// tool protocol (flag queries like -V=full, or *.cfg unit files) rather
+// than human-typed package patterns.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-") || strings.HasPrefix(a, "@") {
+			return true
+		}
+	}
+	return false
+}
+
+// selfVet runs `go vet -vettool=<this binary> <patterns>` so the suite
+// can be invoked directly during development.
+func selfVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iacvet: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "iacvet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,3 +1,8 @@
 module iaclan
 
 go 1.24
+
+// Vendored from the Go 1.24 distribution's cmd/vendor tree (the copy
+// go vet itself builds against); the build is fully offline via
+// vendor/. See DESIGN.md "Static analysis".
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapRangeAnalyzer flags `for range` over a map inside the
+// deterministic packages. Go randomizes map iteration order per run, so
+// any such loop whose body feeds simulation state — RNG draws, slice
+// ordering, float accumulation — breaks the bit-identical run contract.
+// This is exactly the World.Perturb bug PR 3 fixed after the fact; the
+// analyzer catches the class at vet time.
+//
+// Not flagged: ranging over a slice of sorted keys (the fix idiom —
+// that loop is not a map range at all), the canonical key/value
+// collection body `ks = append(ks, k)` (order-insensitive modulo the
+// sort that must follow), and loops annotated
+// `//iacvet:allow maprange <reason>`.
+var MapRangeAnalyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration in deterministic packages: randomized order feeding " +
+		"simulation state breaks bit-identical runs (the PR 3 World.Perturb bug class)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (any, error) {
+	if !inPackages(pass.Pkg.Path(), detPackages) {
+		return nil, nil
+	}
+	ps := collectPragmas(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		if isTestFilePos(pass, rs) {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if isCollectBody(pass, rs) {
+			return
+		}
+		ps.reportf(rs.Pos(), "maprange", "",
+			"range over map %s: iteration order is randomized and package %s is under the determinism contract; iterate sorted keys instead, or annotate //iacvet:allow maprange <reason> if the body is order-insensitive",
+			types.ExprString(rs.X), pass.Pkg.Path())
+	})
+	return nil, nil
+}
+
+// isTestFilePos reports whether the node lives in a _test.go file.
+func isTestFilePos(pass *analysis.Pass, n ast.Node) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= n.Pos() && n.Pos() < f.FileEnd {
+			return isTestFile(pass.Fset, f)
+		}
+	}
+	return false
+}
+
+// isCollectBody recognizes the canonical sort-the-keys-first prologue:
+// a loop body that is exactly one append of the range key (or value)
+// onto a slice, `ks = append(ks, k)`. The collection order is still
+// random, but the idiom is only ever the gather step before a sort, and
+// the subsequent sorted-slice iteration is what the fix prescribes.
+func isCollectBody(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if !sameObject(pass, assign.Lhs[0], call.Args[0]) {
+		return false
+	}
+	return sameObject(pass, call.Args[1], rs.Key) || sameObject(pass, call.Args[1], rs.Value)
+}
+
+// sameObject reports whether two expressions are identifiers resolving
+// to the same object.
+func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+	ai, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := b.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ao := pass.TypesInfo.ObjectOf(ai)
+	return ao != nil && ao == pass.TypesInfo.ObjectOf(bi)
+}

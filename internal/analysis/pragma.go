@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// pragmaPrefix introduces an allow pragma: //iacvet:allow <check> <reason>.
+// The comment must be a line comment on the flagged line or the line
+// directly above it. See the package doc for the grammar.
+const pragmaPrefix = "iacvet:allow"
+
+// allowPragma is one parsed //iacvet:allow comment.
+type allowPragma struct {
+	check  string // "maprange" or "detpure:wallclock" style
+	reason string // free text after the check; must be non-empty
+	line   int
+}
+
+// pragmas indexes a pass's allow pragmas by filename for line lookups.
+type pragmas struct {
+	pass   *analysis.Pass
+	byFile map[string][]allowPragma
+}
+
+// parsePragma parses a single comment's text ("//..." form). The second
+// result is false when the comment is not an iacvet pragma at all.
+// Like //go:build, a pragma is directive-shaped: no space between //
+// and iacvet:allow, so prose that merely mentions the grammar ("the
+// iacvet:allow pragma") never parses as one.
+func parsePragma(text string) (allowPragma, bool) {
+	body, ok := strings.CutPrefix(text, "//"+pragmaPrefix)
+	if !ok {
+		return allowPragma{}, false
+	}
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		// //iacvet:allowable or similar — a different token.
+		return allowPragma{}, false
+	}
+	fields := strings.Fields(body)
+	p := allowPragma{}
+	if len(fields) > 0 {
+		p.check = fields[0]
+	}
+	if len(fields) > 1 {
+		p.reason = strings.Join(fields[1:], " ")
+	}
+	return p, true
+}
+
+// collectPragmas scans every file in the pass (test files included, so
+// pragmas in tests still parse even though the analyzers skip flagging
+// there) and indexes the allow pragmas by file and line.
+func collectPragmas(pass *analysis.Pass) *pragmas {
+	ps := &pragmas{pass: pass, byFile: map[string][]allowPragma{}}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				p, ok := parsePragma(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				p.line = pos.Line
+				ps.byFile[pos.Filename] = append(ps.byFile[pos.Filename], p)
+			}
+		}
+	}
+	return ps
+}
+
+// allowed reports whether a finding of analyzer/sub at pos is covered
+// by a pragma on the same or the preceding line. A bare analyzer name
+// covers all its subchecks; the analyzer:sub form covers only that one.
+func (ps *pragmas) allowed(pos token.Pos, analyzer, sub string) bool {
+	position := ps.pass.Fset.Position(pos)
+	for _, p := range ps.byFile[position.Filename] {
+		if p.line != position.Line && p.line != position.Line-1 {
+			continue
+		}
+		if p.check == analyzer || (sub != "" && p.check == analyzer+":"+sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportf reports a finding unless an allow pragma covers it.
+func (ps *pragmas) reportf(pos token.Pos, analyzer, sub, format string, args ...any) {
+	if ps.allowed(pos, analyzer, sub) {
+		return
+	}
+	ps.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// PragmaAnalyzer validates every //iacvet:allow pragma in the tree: the
+// check name must be one the suite actually implements and the reason
+// must be non-empty. Without this, a typo'd pragma ("wsaloc") would
+// parse, suppress nothing, and rot silently while the author believes
+// the site is annotated. It runs over all packages — pragmas outside
+// the scoped package sets are dead weight and equally worth flagging.
+var PragmaAnalyzer = &analysis.Analyzer{
+	Name:     "iacvetpragma",
+	Doc:      "validate //iacvet:allow pragmas: known check name, non-empty reason",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runPragmaCheck,
+}
+
+// knownChecks enumerates every valid pragma target. Keep in sync with
+// the analyzers' subcheck names; new analyzers register here.
+var knownChecks = map[string]bool{
+	"maprange":           true,
+	"detpure":            true,
+	"detpure:wallclock":  true,
+	"detpure:globalrand": true,
+	"detpure:env":        true,
+	"detpure:select":     true,
+	"wsalloc":            true,
+	"wsalloc:make":       true,
+	"wsalloc:new":        true,
+	"wsalloc:append":     true,
+	"wsalloc:twin":       true,
+	"tracenil":           true,
+}
+
+func runPragmaCheck(pass *analysis.Pass) (any, error) {
+	// The inspector dependency is declared only so this analyzer can run
+	// under drivers that prune analyzers with no requirements; the walk
+	// below is over comments, which the inspector does not visit.
+	_ = pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				checkPragmaComment(pass, c)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkPragmaComment(pass *analysis.Pass, c *ast.Comment) {
+	p, ok := parsePragma(c.Text)
+	if !ok {
+		return
+	}
+	if p.check == "" {
+		pass.Reportf(c.Pos(), "iacvet:allow pragma names no check: want //iacvet:allow <check> <reason>")
+		return
+	}
+	if !knownChecks[p.check] {
+		pass.Reportf(c.Pos(), "iacvet:allow pragma names unknown check %q: this pragma suppresses nothing", p.check)
+		return
+	}
+	if p.reason == "" {
+		pass.Reportf(c.Pos(), "iacvet:allow %s pragma carries no reason: justify the exemption in the comment", p.check)
+	}
+}

@@ -1,0 +1,55 @@
+// Package macfix is loaded under fix/internal/mac, so detpure applies.
+package macfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+func wallclockAllowed() time.Time {
+	//iacvet:allow detpure:wallclock fixture deadline; feeds a metric only
+	return time.Now()
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `global rand source`
+}
+
+func seededDraw(r *rand.Rand) int {
+	return r.Intn(6) // a seeded generator's method: fine
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors: fine
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv in deterministic package`
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func politeSelect(a chan int) int {
+	select { // one communication case plus default: deterministic
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

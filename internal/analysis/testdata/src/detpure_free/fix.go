@@ -1,0 +1,13 @@
+// Package toolfix is loaded under fix/cmd/tool — outside the
+// deterministic set; ambient inputs are fine in command-line tooling.
+package toolfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp() (time.Time, int, string) {
+	return time.Now(), rand.Intn(6), os.Getenv("HOME")
+}

@@ -1,0 +1,66 @@
+// Package simfix is loaded by the harness under the deterministic
+// import path fix/internal/sim, so maprange applies.
+package simfix
+
+import "sort"
+
+type world struct {
+	phys map[int]float64
+}
+
+func draw() float64 { return 0.5 }
+
+// accumulate iterates the map directly while consuming a draw per
+// visit: the order-dependent bug class.
+func accumulate(w world) float64 {
+	acc := 0.0
+	for _, v := range w.phys { // want `range over map`
+		acc += v * draw()
+	}
+	return acc
+}
+
+// sortedKeys is the prescribed fix: the collect-keys prologue is the
+// recognized idiom, and the subsequent loop ranges a slice.
+func sortedKeys(w world) float64 {
+	keys := make([]int, 0, len(w.phys))
+	for k := range w.phys {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	acc := 0.0
+	for _, k := range keys {
+		acc += w.phys[k] * draw()
+	}
+	return acc
+}
+
+// counted carries an order-insensitivity annotation.
+func counted(w world) int {
+	n := 0
+	//iacvet:allow maprange pure count; visit order irrelevant
+	for range w.phys {
+		n++
+	}
+	return n
+}
+
+// collectValues gathers range values rather than keys; still the
+// recognized collect idiom.
+func collectValues(w world) []float64 {
+	vs := make([]float64, 0, len(w.phys))
+	for _, v := range w.phys {
+		vs = append(vs, v)
+	}
+	sort.Float64s(vs)
+	return vs
+}
+
+// sliceRange never triggers: not a map.
+func sliceRange(xs []float64) float64 {
+	acc := 0.0
+	for _, v := range xs {
+		acc += v
+	}
+	return acc
+}

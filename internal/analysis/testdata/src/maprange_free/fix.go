@@ -1,0 +1,11 @@
+// Package freefix is loaded under fix/tools/report — outside the
+// deterministic package set, so the identical loop is not flagged.
+package freefix
+
+func tally(m map[string]int) int {
+	acc := 0
+	for _, v := range m {
+		acc += v
+	}
+	return acc
+}

@@ -1,0 +1,31 @@
+// Package channelfix replays the PR 3 World.Perturb regression under
+// the import path fix/internal/channel: the pre-fix Perturb ranged the
+// pair map directly while drawing innovations from the world RNG, so
+// the draw order — and every channel realization after it — followed
+// the runtime's randomized map order. Two runs of the same seed
+// diverged. maprange must catch this shape.
+package channelfix
+
+type pairKey struct{ lo, hi int }
+
+type pairPhys struct{ gain float64 }
+
+type lcg struct{ state uint64 }
+
+func (r *lcg) float64() float64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11) / (1 << 53)
+}
+
+type world struct {
+	phys map[pairKey]*pairPhys
+	rng  *lcg
+}
+
+// perturb is the seeded regression: the buggy pre-PR 3 shape.
+func (w *world) perturb(eps float64) {
+	for _, p := range w.phys { // want `range over map`
+		p.gain = (1 - eps) * p.gain
+		p.gain += eps * w.rng.float64()
+	}
+}

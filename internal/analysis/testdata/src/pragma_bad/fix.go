@@ -1,0 +1,26 @@
+// Package pragfix exercises the pragma validator; the import path does
+// not matter — iacvetpragma runs everywhere.
+package pragfix
+
+//iacvet:allow wsaloc:make typo'd analyzer name
+// want-above `unknown check "wsaloc:make"`
+
+var a int
+
+//iacvet:allow maprange
+// want-above `carries no reason`
+
+var b int
+
+//iacvet:allow
+// want-above `names no check`
+
+var c int
+
+//iacvet:allow maprange keys are deleted independently; order free
+
+var d int
+
+// A prose mention of the iacvet:allow grammar (note the leading space)
+// is not a pragma and must not be flagged.
+var e int

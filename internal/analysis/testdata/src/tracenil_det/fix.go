@@ -1,0 +1,61 @@
+// Package simtrace is loaded under fix/internal/sim, so tracenil
+// applies to its Tracer-interface emit sites.
+package simtrace
+
+type event struct{ kind int }
+
+type tracer interface{ Trace(event) }
+
+type engine struct {
+	trace tracer
+}
+
+// emit uses the early-return guard shape.
+func (e *engine) emit(ev event) {
+	if e.trace == nil {
+		return
+	}
+	e.trace.Trace(ev)
+}
+
+// block uses the guarded-block shape.
+func (e *engine) block(ev event) {
+	if e.trace != nil {
+		e.trace.Trace(ev)
+	}
+}
+
+// compound guards inside a conjunction still count.
+func (e *engine) compound(ev event, on bool) {
+	if on && e.trace != nil {
+		e.trace.Trace(ev)
+	}
+}
+
+// bad emits with no guard at all.
+func (e *engine) bad(ev event) {
+	e.trace.Trace(ev) // want `without a nil-tracer guard`
+}
+
+// wrongGuard checks a different value than it emits on.
+func (e *engine) wrongGuard(ev event, other tracer) {
+	if other != nil {
+		e.trace.Trace(ev) // want `without a nil-tracer guard`
+	}
+}
+
+// annotated documents an invariant instead.
+func (e *engine) annotated(ev event) {
+	//iacvet:allow tracenil constructor guarantees a tracer is always attached here
+	e.trace.Trace(ev)
+}
+
+// concrete types with a Trace method are out of scope: they can make
+// their own nil receiver safe.
+type nilSafe struct{}
+
+func (*nilSafe) Trace(event) {}
+
+func emitConcrete(s *nilSafe, ev event) {
+	s.Trace(ev)
+}

@@ -1,0 +1,11 @@
+// Package obsfix is loaded under fix/internal/obs — outside the engine
+// hot-path set; unguarded Trace calls there are the consumer's concern.
+package obsfix
+
+type event struct{ kind int }
+
+type tracer interface{ Trace(event) }
+
+func forward(t tracer, ev event) {
+	t.Trace(ev)
+}

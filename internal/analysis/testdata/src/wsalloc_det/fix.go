@@ -1,0 +1,80 @@
+// Package cmfix is loaded under fix/internal/cmplxmat, so wsalloc
+// applies to its *WS functions.
+package cmfix
+
+type ws struct{ buf []float64 }
+
+func (w *ws) floats(n int) []float64 {
+	if len(w.buf) < n {
+		w.buf = make([]float64, n)
+	}
+	return w.buf[:n]
+}
+
+type matrix struct{ data []float64 }
+
+// clone is the heap twin; cloneWS the workspace twin.
+func (m *matrix) clone() *matrix {
+	return &matrix{data: append([]float64(nil), m.data...)}
+}
+
+func (m *matrix) cloneWS(w *ws) *matrix {
+	c := &matrix{data: w.floats(len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// inverse / inverseWS exercise the package-level twin lookup.
+func inverse(m *matrix) *matrix { return m.clone() }
+
+func inverseWS(w *ws, m *matrix) *matrix { return m.cloneWS(w) }
+
+func makeWS(w *ws, n int) []float64 {
+	return make([]float64, n) // want `make inside zero-alloc makeWS`
+}
+
+func arenaWS(w *ws, n int) []float64 {
+	return w.floats(n) // arena scratch: fine
+}
+
+func newObjWS(w *ws) *matrix {
+	return new(matrix) // want `new inside zero-alloc newObjWS`
+}
+
+func growWS(w *ws, xs []float64) []float64 {
+	return append([]float64(nil), xs...) // want `append onto a nil/empty base`
+}
+
+func appendCapWS(w *ws, n int) []float64 {
+	out := w.floats(n)[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // cap-bounded arena append: fine
+	}
+	return out
+}
+
+func methodTwinWS(w *ws, m *matrix) *matrix {
+	return m.clone() // want `allocates on the heap inside zero-alloc methodTwinWS`
+}
+
+func methodTwinOkWS(w *ws, m *matrix) *matrix {
+	return m.cloneWS(w)
+}
+
+func funcTwinWS(w *ws, m *matrix) *matrix {
+	return inverse(m) // want `allocates on the heap inside zero-alloc funcTwinWS`
+}
+
+func funcTwinOkWS(w *ws, m *matrix) *matrix {
+	return inverseWS(w, m)
+}
+
+func annotatedWS(w *ws, n int) []float64 {
+	//iacvet:allow wsalloc:make cold error path; not reached in steady state
+	return make([]float64, n)
+}
+
+// plainHelper is not WS-named: allocation discipline does not apply.
+func plainHelper(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,7 @@
+// Package expfix is loaded under fix/internal/exp — outside the
+// workspace-twin package set; WS-suffixed names there are coincidence.
+package expfix
+
+func tableWS(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// TraceNilAnalyzer keeps the no-tracer configuration on the engine hot
+// path allocation-free (the contract TestNilTracerZeroAlloc and
+// BenchmarkTraceEmitNil pin). Any call to an interface method named
+// Trace — the sim.Tracer seam — inside internal/sim must be dominated
+// by a nil check of the receiver, in one of the two shapes the engine
+// uses:
+//
+//	if e.trace == nil { return }   // early return, then emit freely
+//	e.trace.Trace(ev)
+//
+//	if cfg.Trace != nil {          // guarded block
+//	    cfg.Trace.Trace(ev)
+//	}
+//
+// An unguarded call either panics on the nil interface or, worse,
+// forces callers to pre-build Event values on a path that must stay a
+// single branch when no tracer is attached.
+var TraceNilAnalyzer = &analysis.Analyzer{
+	Name: "tracenil",
+	Doc: "require a nil-tracer guard around Trace emission on engine hot paths " +
+		"so the no-tracer fast path stays zero-alloc",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runTraceNil,
+}
+
+func runTraceNil(pass *analysis.Pass) (any, error) {
+	if !inPackages(pass.Pkg.Path(), tracePackages) {
+		return nil, nil
+	}
+	ps := collectPragmas(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Trace" || isTestFilePos(pass, call) {
+			return true
+		}
+		if !isInterfaceMethodCall(pass, sel) {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		if guardedByIf(pass, recv, call, stack) || guardedByEarlyReturn(pass, recv, call, stack) {
+			return true
+		}
+		ps.reportf(call.Pos(), "tracenil", "",
+			"%s.Trace emitted without a nil-tracer guard: wrap in `if %s != nil` or early-return when nil so the no-tracer path stays zero-alloc",
+			recv, recv)
+		return true
+	})
+	return nil, nil
+}
+
+// isInterfaceMethodCall reports whether sel selects a method whose
+// receiver is an interface — the Tracer seam, as opposed to a concrete
+// type's Trace method (which can be nil-safe on its own).
+func isInterfaceMethodCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return types.IsInterface(s.Recv())
+}
+
+// guardedByIf reports whether some enclosing if statement's condition
+// includes `recv != nil` with the call inside its then-branch.
+func guardedByIf(pass *analysis.Pass, recv string, call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok || !condChecksNonNil(ifs.Cond, recv) {
+			continue
+		}
+		if ifs.Body.Pos() <= call.Pos() && call.End() <= ifs.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedByEarlyReturn reports whether the innermost enclosing function
+// contains, before the call, an `if recv == nil { return }` statement.
+// This is a positional heuristic, not a full dominator analysis: an
+// early return nested inside some other conditional would be accepted
+// wrongly, but the engine's emit helpers keep the guard at the top
+// level where the heuristic is exact.
+func guardedByEarlyReturn(pass *analysis.Pass, recv string, call *ast.CallExpr, stack []ast.Node) bool {
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		if ifs.End() > call.Pos() || !condChecksNil(ifs.Cond, recv) {
+			return true
+		}
+		if len(ifs.Body.List) > 0 {
+			if _, isRet := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); isRet {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// condChecksNonNil reports whether the condition contains a conjunct
+// `recv != nil` (textually, via types.ExprString).
+func condChecksNonNil(cond ast.Expr, recv string) bool {
+	return condChecks(cond, recv, token.NEQ, token.LAND)
+}
+
+// condChecksNil reports whether the condition contains a disjunct or
+// bare comparison `recv == nil`.
+func condChecksNil(cond ast.Expr, recv string) bool {
+	return condChecks(cond, recv, token.EQL, token.LOR)
+}
+
+// condChecks walks a condition's cmp-combined binary tree looking for
+// `recv <op> nil` (or `nil <op> recv`).
+func condChecks(cond ast.Expr, recv string, op, combine token.Token) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecks(e.X, recv, op, combine)
+	case *ast.BinaryExpr:
+		if e.Op == combine {
+			return condChecks(e.X, recv, op, combine) || condChecks(e.Y, recv, op, combine)
+		}
+		if e.Op != op {
+			return false
+		}
+		x, y := types.ExprString(e.X), types.ExprString(e.Y)
+		return (x == recv && y == "nil") || (x == "nil" && y == recv)
+	}
+	return false
+}

@@ -193,6 +193,7 @@ func (h *TCPHub) Publish(port int, msg Message) error {
 	if p.conn == nil {
 		return fmt.Errorf("backend: port %d not connected", port)
 	}
+	//iacvet:allow detpure:wallclock socket write deadline for hub liveness; bounds a syscall, never feeds simulation state
 	if err := p.conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout)); err != nil {
 		return err
 	}
@@ -218,13 +219,16 @@ func (h *TCPHub) Drain(port int) []Message {
 // DrainWait drains the port, polling until at least min messages have
 // arrived, every connection has closed, or the timeout expires.
 func (h *TCPHub) DrainWait(port, min int, timeout time.Duration) []Message {
+	//iacvet:allow detpure:wallclock caller-supplied poll timeout; bounds how long we wait, not what is drained
 	deadline := time.Now().Add(timeout)
 	var out []Message
 	for {
 		out = append(out, h.Drain(port)...)
+		//iacvet:allow detpure:wallclock poll-deadline check; affects wait duration only, message content is whatever arrived
 		if len(out) >= min || time.Now().After(deadline) {
 			return out
 		}
+		//iacvet:allow detpure:select close-vs-timer wakeup race only affects poll latency; both arms re-drain the same inbox
 		select {
 		case <-h.closed:
 			return append(out, h.Drain(port)...)

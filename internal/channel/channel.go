@@ -252,11 +252,13 @@ func (w *World) Redraw(a, b *Node) {
 func (w *World) MoveNode(n *Node, x, y float64) {
 	w.epoch++
 	n.X, n.Y = x, y
+	//iacvet:allow maprange delete-only filter of cached pair state; no RNG draw or accumulation depends on visit order
 	for k := range w.phys {
 		if k.lo == n.ID || k.hi == n.ID {
 			delete(w.phys, k)
 		}
 	}
+	//iacvet:allow maprange delete-only filter of cached pair state; no RNG draw or accumulation depends on visit order
 	for k := range w.shadow {
 		if k.lo == n.ID || k.hi == n.ID {
 			delete(w.shadow, k)

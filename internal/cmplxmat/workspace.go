@@ -82,6 +82,7 @@ type Workspace struct {
 	mats  arena[Matrix]
 	vecs  arena[Vector]
 	rows  arena[[]complex128]
+	ptrs  arena[*Matrix]
 }
 
 // NewWorkspace returns an empty workspace. Most callers should prefer
@@ -98,13 +99,14 @@ func (w *Workspace) Reset() {
 	w.mats.reset()
 	w.vecs.reset()
 	w.rows.reset()
+	w.ptrs.reset()
 }
 
 // Mark captures the current arena position. Pair with Release to reclaim
 // everything allocated inside a bounded phase (e.g. one solver attempt)
 // while keeping earlier allocations alive.
 type Mark struct {
-	cpx, f64, ints, bools, mats, vecs, rows arenaMark
+	cpx, f64, ints, bools, mats, vecs, rows, ptrs arenaMark
 }
 
 // Mark returns a snapshot of the workspace's bump positions.
@@ -117,6 +119,7 @@ func (w *Workspace) Mark() Mark {
 		mats:  w.mats.mark(),
 		vecs:  w.vecs.mark(),
 		rows:  w.rows.mark(),
+		ptrs:  w.ptrs.mark(),
 	}
 }
 
@@ -130,6 +133,7 @@ func (w *Workspace) Release(m Mark) {
 	w.mats.release(m.mats)
 	w.vecs.release(m.vecs)
 	w.rows.release(m.rows)
+	w.ptrs.release(m.ptrs)
 }
 
 // Vector returns a zeroed arena-backed vector of dimension n.
@@ -150,6 +154,10 @@ func (w *Workspace) Bools(n int) []bool { return w.bools.alloc(n) }
 // Vectors returns a zeroed arena-backed slice of vector headers, for
 // building interference-direction lists without heap churn.
 func (w *Workspace) Vectors(n int) []Vector { return w.vecs.alloc(n) }
+
+// MatrixPtrs returns a zeroed arena-backed slice of matrix pointers,
+// for building per-packet matrix lists without heap churn.
+func (w *Workspace) MatrixPtrs(n int) []*Matrix { return w.ptrs.alloc(n) }
 
 // Matrix returns a zeroed arena-backed rows x cols matrix. The matrix
 // header itself lives in the arena too, so no part of the allocation

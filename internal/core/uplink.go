@@ -277,7 +277,7 @@ func SolveUplinkChainWS(ws *cmplxmat.Workspace, cs ChannelSet, rng *rand.Rand) (
 	owners, aSet, bSet := layout.owners, layout.aSet, layout.bSet
 
 	// Step 1: G_a per aligned packet.
-	gs := make([]*cmplxmat.Matrix, len(aSet))
+	gs := ws.MatrixPtrs(len(aSet))
 	for i, a := range aSet {
 		inv, err := cs[owners[a]][1].InverseWS(ws)
 		if err != nil {

@@ -232,6 +232,7 @@ func (p *BestOfTwoPicker) PickGroup(queue []ClientID, size int, est RateEstimato
 	for _, c := range best {
 		inGroup[c] = true
 	}
+	//iacvet:allow maprange independent per-key credit increments; no visit-order-dependent state or RNG draws
 	for c := range considered {
 		if !inGroup[c] {
 			p.credits[c]++

@@ -698,15 +698,23 @@ func (e *engine) plan(group []mac.ClientID, stripe int8) groupOutcome {
 	if e.met != nil && res.Batched > 0 {
 		e.batchSketch.Add(float64(res.Batched))
 	}
+	// Iterate local indices in order rather than ranging the maps: the
+	// remap can accumulate several packets onto one client, and float
+	// accumulation order must not depend on randomized map iteration
+	// (the maprange determinism contract).
 	per := make(map[int]float64, len(res.PerClient))
-	for local, rate := range res.PerClient {
-		per[idx[local]] += rate
+	for local := range idx {
+		if rate, ok := res.PerClient[local]; ok {
+			per[idx[local]] += rate
+		}
 	}
 	var planned map[int]float64
 	if res.PlannedPerClient != nil {
 		planned = make(map[int]float64, len(res.PlannedPerClient))
-		for local, rate := range res.PlannedPerClient {
-			planned[idx[local]] += rate
+		for local := range idx {
+			if rate, ok := res.PlannedPerClient[local]; ok {
+				planned[idx[local]] += rate
+			}
 		}
 	}
 	return groupOutcome{ok: true, sumRate: res.SumRate, perClient: per, planned: planned, packets: res.Plan.NumPackets()}

@@ -143,11 +143,13 @@ func runCampusPipeline(cfg Config, cellCfgs []Config, results [][]TrialResult, e
 				c.cell, c.trial = cell, trial
 				var start time.Time
 				if met != nil {
+					//iacvet:allow detpure:wallclock worker busy-time metric; guarded by met != nil, feeds obs counters only
 					start = time.Now()
 				}
 				res, err := runPinned(c, ws)
 				ws.Recycle()
 				if met != nil {
+					//iacvet:allow detpure:wallclock worker busy-time metric; guarded by met != nil, feeds obs counters only
 					busy += time.Since(start)
 				}
 				r.Push(trialItem{cell: cell, trial: trial, res: res, err: err})
@@ -175,6 +177,7 @@ func runCampusPipeline(cfg Config, cellCfgs []Config, results [][]TrialResult, e
 			got++
 			var start time.Time
 			if met != nil {
+				//iacvet:allow detpure:wallclock merge busy-time metric; guarded by met != nil, feeds obs counters only
 				start = time.Now()
 			}
 			results[it.cell][it.trial] = it.res
@@ -183,6 +186,7 @@ func runCampusPipeline(cfg Config, cellCfgs []Config, results [][]TrialResult, e
 				campusCellDone(cfg, it.cell, results[it.cell])
 			}
 			if met != nil {
+				//iacvet:allow detpure:wallclock merge busy-time metric; guarded by met != nil, feeds obs counters only
 				mergeBusy += time.Since(start)
 			}
 		}

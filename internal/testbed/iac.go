@@ -69,6 +69,7 @@ func runUplinkSlotScalarWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoP
 		return SlotOutcome{}, fmt.Errorf("testbed: role %d out of range", twoPacketRole)
 	}
 	// Order clients so the two-packet client sits at transmitter 0.
+	//iacvet:allow wsalloc:make historical differential reference kept verbatim (PR 8); one small index slice, off the batched hot path
 	order := make([]int, 0, nc)
 	order = append(order, twoPacketRole)
 	for i := 0; i < nc; i++ {
@@ -135,6 +136,7 @@ func runUplinkSlotScalarWS(ws *phy.Workspace, cache *SlotCache, s Scenario, twoP
 		}
 	}
 	if plan.PlannedRate != nil {
+		//iacvet:allow wsalloc:make returned outcome map; escapes the workspace lifetime by design
 		out.PlannedPerClient = make(map[int]float64, len(out.PerClient))
 		for pkt, owner := range plan.Owner {
 			out.PlannedPerClient[order[owner]] += plan.PlannedRate[pkt]
@@ -337,6 +339,7 @@ func runDownlinkSlotScalarWS(ws *phy.Workspace, cache *SlotCache, s Scenario, rn
 	}
 	out := SlotOutcome{SumRate: ev.SumRate, PerClient: map[int]float64{}, Plan: plan.Plan}
 	if plan.PlannedRate != nil {
+		//iacvet:allow wsalloc:make returned outcome map; escapes the workspace lifetime by design
 		out.PlannedPerClient = make(map[int]float64, len(out.PerClient))
 	}
 	mcs := s.Env.MCS
